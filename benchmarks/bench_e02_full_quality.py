@@ -1,0 +1,75 @@
+"""E2 — Theorem 1.2 / Observations 2.6+2.7: full shortcuts.
+
+Paper claims measured here:
+
+* full shortcuts exist with dilation ≤ 8δ(2D+1) and congestion
+  ≤ 8δD·log₂ k (Observation 2.7 iterates at most ⌈log₂ k⌉ times);
+* quality scales *linearly* in δ at fixed D — the headline improvement
+  over the quadratic O~(D²) of [HLZ18]. The δ-axis uses expanded cliques
+  (δ = (r-1)/2 exactly) at a pinned segment length.
+"""
+
+import math
+
+from benchmarks.common import fmt, report
+from repro.core.bounds import (
+    theorem12_congestion_bound,
+    theorem12_dilation_bound,
+)
+from repro.core.full import build_full_shortcut
+from repro.graphs.generators import expanded_clique
+from repro.graphs.partition import voronoi_partition
+from repro.graphs.trees import bfs_tree
+
+
+def _run():
+    rows = []
+    qualities = {}
+    for r in (4, 8, 12, 16):
+        delta = (r - 1) / 2.0
+        graph = expanded_clique(r, 12)
+        tree = bfs_tree(graph)
+        partition = voronoi_partition(graph, 3 * r, rng=5)
+        result = build_full_shortcut(graph, tree, partition, delta)
+        quality = result.shortcut.quality(exact=False)
+        congestion_bound = theorem12_congestion_bound(delta, tree.max_depth, len(partition))
+        dilation_bound = theorem12_dilation_bound(delta, tree.max_depth)
+        qualities[delta] = quality.quality / max(tree.max_depth, 1)
+        rows.append(
+            [
+                f"r={r}",
+                fmt(delta, 1),
+                tree.max_depth,
+                result.iterations,
+                math.ceil(math.log2(len(partition))),
+                quality.congestion,
+                fmt(congestion_bound, 0),
+                fmt(quality.dilation, 0),
+                fmt(dilation_bound, 0),
+                fmt(quality.quality, 0),
+            ]
+        )
+        assert result.iterations <= math.ceil(math.log2(len(partition))) + 1
+        assert quality.congestion <= congestion_bound
+        assert quality.dilation <= dilation_bound
+    # Linear-in-delta shape: quality/D grows by at most ~2x the delta ratio
+    # between the extreme points (would blow up under a D^2-style bound).
+    deltas = sorted(qualities)
+    growth = qualities[deltas[-1]] / max(qualities[deltas[0]], 1e-9)
+    delta_ratio = deltas[-1] / deltas[0]
+    assert growth <= 2.5 * delta_ratio, (growth, delta_ratio)
+    return rows
+
+
+def test_e02_full_quality(benchmark):
+    rows = _run()
+    report(
+        "e02_full_quality",
+        "Theorem 1.2 full shortcuts: measured vs bounds (expanded cliques, delta axis)",
+        ["family", "delta", "D", "iters", "log2k", "congestion", "c-bound", "dilation", "d-bound", "quality"],
+        rows,
+    )
+    graph = expanded_clique(8, 12)
+    tree = bfs_tree(graph)
+    partition = voronoi_partition(graph, 24, rng=5)
+    benchmark(lambda: build_full_shortcut(graph, tree, partition, 3.5))

@@ -1,0 +1,61 @@
+"""E3 — Lemma 3.2 / Figure 3.2: the Ω(δ'D') lower-bound topology.
+
+Paper claims measured here:
+
+* the instance has diameter ≤ D' and minor density < δ' (verified via the
+  planarity-after-deletion argument plus heuristic dense-minor search);
+* every shortcut for the row parts has quality ≥ (δ'-1... concretely the
+  instance bound (δ-1)D/2) — our constructed shortcut's measured quality
+  must land between that lower bound and Theorem 1.2's upper bound, i.e.
+  the Θ(δD) tightness of the main theorem.
+"""
+
+from benchmarks.common import fmt, report
+from repro.core.full import build_full_shortcut
+from repro.graphs.generators import lower_bound_graph
+from repro.graphs.minors import greedy_dense_minor
+from repro.graphs.trees import bfs_tree
+
+
+def _run():
+    rows = []
+    for delta_prime, diameter_prime in ((5, 20), (6, 26), (7, 32), (8, 40)):
+        instance = lower_bound_graph(delta_prime, diameter_prime)
+        check = instance.verify(exact_diameter=False)
+        witness = greedy_dense_minor(instance.graph, rng=1)
+        tree = bfs_tree(instance.graph)
+        result = build_full_shortcut(
+            instance.graph, tree, instance.partition,
+            delta=delta_prime, escalate_on_stall=True,
+        )
+        quality = result.shortcut.quality(exact=False)
+        upper = 8 * delta_prime * (2 * tree.max_depth + 1) * 2  # generous Thm 1.2 form
+        rows.append(
+            [
+                f"d'={delta_prime} D'={diameter_prime}",
+                check["diameter"],
+                fmt(witness.density, 2),
+                fmt(instance.quality_lower_bound, 1),
+                fmt(quality.quality, 1),
+                quality.congestion,
+                fmt(quality.dilation, 0),
+                fmt(instance.paper_form_bound, 1),
+            ]
+        )
+        assert check["diameter"] <= diameter_prime
+        assert witness.density < delta_prime
+        assert quality.quality >= instance.quality_lower_bound
+        assert quality.quality <= upper
+    return rows
+
+
+def test_e03_lower_bound(benchmark):
+    rows = _run()
+    report(
+        "e03_lower_bound",
+        "Lemma 3.2 instances: measured shortcut quality between LB and Thm 1.2 UB",
+        ["instance", "diam", "minor-density", "LB (d-1)D/2", "measured Q", "c", "d", "paper form"],
+        rows,
+    )
+    instance = lower_bound_graph(5, 20)
+    benchmark(lambda: instance.verify(exact_diameter=False))

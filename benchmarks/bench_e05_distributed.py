@@ -1,0 +1,98 @@
+"""E5 — Theorem 1.5: measured rounds of the distributed construction.
+
+Paper claims measured here:
+
+* the randomized construction runs in O~(δD) rounds with O~(m) messages —
+  rounds per unit of D·log n must stay bounded as the instance grows
+  (ruling out the O~(D²) of the pre-paper state of the art);
+* ablation: the sampled sweep vs the exact (deterministic-style) sweep —
+  the paper's O~(δD) vs O(δD²) gap.
+"""
+
+import math
+
+from benchmarks.common import fmt, report
+from repro.core.distributed import distributed_partial_shortcut
+from repro.graphs.generators import grid_graph
+from repro.graphs.partition import grid_rows_partition
+
+
+def _run():
+    rows = []
+    normalized = []
+    for side in (8, 12, 16, 20):
+        graph = grid_graph(side, side)
+        partition = grid_rows_partition(graph)
+        result = distributed_partial_shortcut(graph, partition, delta=3.0, rng=7)
+        n = graph.number_of_nodes()
+        depth = result.params["depth_max"]
+        unit = depth * math.log2(n)
+        normalized.append(result.stats.rounds / unit)
+        rows.append(
+            [
+                f"grid {side}x{side}",
+                n,
+                depth,
+                f"{len(result.satisfied)}/{len(partition)}",
+                result.stats.rounds,
+                fmt(result.stats.rounds / unit, 2),
+                result.stats.messages,
+                fmt(result.stats.messages / graph.number_of_edges(), 1),
+            ]
+        )
+        assert result.succeeded
+        # Message complexity O~(m): messages per edge bounded by polylog.
+        assert result.stats.messages <= 40 * math.log2(n) * graph.number_of_edges()
+    # Rounds / (D log n) must not grow with the instance (no D^2 behaviour).
+    assert max(normalized) <= 3.0 * min(normalized), normalized
+    return rows
+
+
+def _ablation():
+    graph = grid_graph(10, 10)
+    partition = grid_rows_partition(graph)
+    sampled = distributed_partial_shortcut(
+        graph, partition, delta=3.0, rng=7, run_verification=False
+    )
+    exact = distributed_partial_shortcut(
+        graph, partition, delta=3.0, rng=7, exact=True, run_verification=False
+    )
+    assert exact.stats.rounds > sampled.stats.rounds
+    return [
+        ["sampled sweep", sampled.stats.rounds, sampled.params["tau"]],
+        ["exact sweep", exact.stats.rounds, exact.params["tau"]],
+    ]
+
+
+def test_e05_distributed_scaling(benchmark):
+    rows = _run()
+    report(
+        "e05_distributed",
+        "Theorem 1.5: measured construction rounds scale as O~(delta*D)",
+        ["instance", "n", "D", "satisfied", "rounds", "rounds/(D log n)", "messages", "msgs/edge"],
+        rows,
+    )
+    graph = grid_graph(10, 10)
+    partition = grid_rows_partition(graph)
+    benchmark(
+        lambda: distributed_partial_shortcut(
+            graph, partition, delta=3.0, rng=7, run_verification=False
+        )
+    )
+
+
+def test_e05_sampling_ablation(benchmark):
+    rows = _ablation()
+    report(
+        "e05_sampling_ablation",
+        "sampled (O~(D)) vs exact (O(delta D^2)-style) sweep rounds",
+        ["variant", "rounds", "tau"],
+        rows,
+    )
+    graph = grid_graph(8, 8)
+    partition = grid_rows_partition(graph)
+    benchmark(
+        lambda: distributed_partial_shortcut(
+            graph, partition, delta=3.0, rng=7, exact=True, run_verification=False
+        )
+    )

@@ -1,0 +1,58 @@
+"""E6 — Corollary 1.4: genus-g graphs get quality O(√g·D·log n) shortcuts.
+
+Sweep the number of handles g on a fixed grid; δ(G) = O(√g) analytically,
+so measured full-shortcut quality divided by (√g+1)·D must stay bounded —
+reproducing the corollary's √g dependence (the [HIZ16b] bound the paper
+recovers "as a trivial corollary").
+"""
+
+import math
+
+from benchmarks.common import fmt, report
+from repro.core.full import build_full_shortcut
+from repro.graphs.generators import planar_with_handles
+from repro.graphs.generators.genus import genus_delta_upper
+from repro.graphs.partition import voronoi_partition
+from repro.graphs.trees import bfs_tree
+
+
+def _run():
+    rows = []
+    ratios = []
+    for genus in (0, 4, 16, 36, 64):
+        graph = planar_with_handles(16, 16, genus, rng=3)
+        delta = genus_delta_upper(genus)
+        tree = bfs_tree(graph)
+        partition = voronoi_partition(graph, 32, rng=4)
+        result = build_full_shortcut(graph, tree, partition, delta)
+        quality = result.shortcut.quality(exact=False)
+        unit = (math.sqrt(genus) + 1.0) * max(tree.max_depth, 1)
+        ratios.append(quality.quality / unit)
+        rows.append(
+            [
+                f"g={genus}",
+                fmt(delta, 2),
+                tree.max_depth,
+                quality.congestion,
+                fmt(quality.dilation, 0),
+                fmt(quality.quality, 0),
+                fmt(quality.quality / unit, 2),
+            ]
+        )
+    # sqrt(g) shape: normalized quality bounded across the sweep.
+    assert max(ratios) <= 4.0 * max(min(ratios), 0.5), ratios
+    return rows
+
+
+def test_e06_genus(benchmark):
+    rows = _run()
+    report(
+        "e06_genus",
+        "Corollary 1.4: quality / (sqrt(g)+1)D stays bounded over the genus sweep",
+        ["genus", "delta<=", "D", "congestion", "dilation", "quality", "Q/(sqrt(g)+1)D"],
+        rows,
+    )
+    graph = planar_with_handles(12, 12, 16, rng=3)
+    tree = bfs_tree(graph)
+    partition = voronoi_partition(graph, 24, rng=4)
+    benchmark(lambda: build_full_shortcut(graph, tree, partition, genus_delta_upper(16)))

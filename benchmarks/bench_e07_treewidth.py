@@ -1,0 +1,52 @@
+"""E7 — Corollary 3.4: treewidth-k graphs get quality O(kD·log n) shortcuts.
+
+Sweep k over random partial k-trees at comparable sizes; δ(G) ≤ k
+(Lemma 3.3), so measured quality divided by k·D must stay bounded —
+the [HIZ16b] treewidth bound recovered from the single main theorem.
+"""
+
+from benchmarks.common import fmt, report
+from repro.core.full import build_full_shortcut
+from repro.graphs.generators import partial_k_tree
+from repro.graphs.partition import voronoi_partition
+from repro.graphs.trees import bfs_tree
+
+
+def _run():
+    rows = []
+    ratios = []
+    for k in (1, 2, 4, 6, 8):
+        graph = partial_k_tree(300, k, keep_probability=0.8, rng=k, locality=0.8)
+        tree = bfs_tree(graph)
+        partition = voronoi_partition(graph, 40, rng=10 + k)
+        result = build_full_shortcut(graph, tree, partition, float(k))
+        quality = result.shortcut.quality(exact=False)
+        unit = k * max(tree.max_depth, 1)
+        ratios.append(quality.quality / unit)
+        rows.append(
+            [
+                f"k={k}",
+                graph.number_of_nodes(),
+                tree.max_depth,
+                quality.congestion,
+                fmt(quality.dilation, 0),
+                fmt(quality.quality, 0),
+                fmt(quality.quality / unit, 2),
+            ]
+        )
+    assert max(ratios) <= 6.0 * max(min(ratios), 0.25), ratios
+    return rows
+
+
+def test_e07_treewidth(benchmark):
+    rows = _run()
+    report(
+        "e07_treewidth",
+        "Corollary 3.4: quality / kD stays bounded over the treewidth sweep",
+        ["treewidth", "n", "D", "congestion", "dilation", "quality", "Q/kD"],
+        rows,
+    )
+    graph = partial_k_tree(200, 4, keep_probability=0.8, rng=4, locality=0.8)
+    tree = bfs_tree(graph)
+    partition = voronoi_partition(graph, 30, rng=14)
+    benchmark(lambda: build_full_shortcut(graph, tree, partition, 4.0))

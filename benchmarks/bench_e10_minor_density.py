@@ -1,0 +1,63 @@
+"""E10 — Lemma 1.1 [Tho01]: (r-1)/2 ≤ δ(G) ≤ 8r√(log₂ r) on real graphs.
+
+For families with exactly-known δ (expanded cliques) and analytically
+bounded δ (grids, k-trees), find a clique minor heuristically and verify
+the sandwich between its order r̂ and the (known bound on) δ. Also reports
+how close the dense-minor heuristic gets to the true δ — the quality of
+the library's δ estimation, which the adaptive constructions rely on.
+"""
+
+from benchmarks.common import fmt, report
+from repro.graphs.generators import expanded_clique, grid_graph, k_tree
+from repro.graphs.minors import (
+    greedy_clique_minor,
+    greedy_dense_minor,
+    thomason_upper,
+)
+
+
+def _instances():
+    yield "exp-clique r=6", expanded_clique(6, 8), 2.5
+    yield "exp-clique r=10", expanded_clique(10, 8), 4.5
+    yield "grid 10x10", grid_graph(10, 10), 3.0
+    yield "k-tree k=4", k_tree(80, 4, rng=1), 4.0
+
+
+def _run():
+    rows = []
+    for name, graph, delta_bound in _instances():
+        clique = greedy_clique_minor(graph, rng=3)
+        clique.validate(graph)
+        dense = greedy_dense_minor(graph, rng=4)
+        dense.validate(graph)
+        r_found = clique.num_nodes
+        rows.append(
+            [
+                name,
+                r_found,
+                fmt((r_found - 1) / 2, 1),
+                fmt(dense.density, 2),
+                fmt(delta_bound, 1),
+                fmt(thomason_upper(max(r_found, 2)), 1),
+            ]
+        )
+        # Lemma 1.1 sandwich with the found clique order: the lower
+        # direction must respect the family's delta bound...
+        assert (r_found - 1) / 2 <= delta_bound + 1e-9, name
+        # ... and the heuristic density bound must as well.
+        assert dense.density <= delta_bound + 1e-9, name
+        # Upper direction: delta <= 8r sqrt(log2 r) for the true r >= found r.
+        assert delta_bound <= thomason_upper(max(r_found, 2)) + 1e-9, name
+    return rows
+
+
+def test_e10_minor_density(benchmark):
+    rows = _run()
+    report(
+        "e10_minor_density",
+        "Lemma 1.1: clique-minor order vs minor density sandwich",
+        ["instance", "r found", "(r-1)/2", "dense-minor delta", "delta bound", "8r sqrt(log r)"],
+        rows,
+    )
+    graph = expanded_clique(6, 8)
+    benchmark(lambda: greedy_dense_minor(graph, rng=4))

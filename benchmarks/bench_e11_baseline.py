@@ -1,0 +1,102 @@
+"""E11 — Section 1.3: the folklore D+√n shortcut, and where it loses.
+
+Paper claims measured here:
+
+* the baseline's quality is within its 2D + 2√n bound on general graphs
+  (it needs no structure at all);
+* on bounded-δ small-D families it is beaten by the paper's O~(δD)
+  shortcuts by a factor that grows with n — the whole point of
+  structure-aware shortcuts.
+"""
+
+import math
+
+from benchmarks.common import fmt, report
+from repro.core.baseline import bfs_tree_shortcut
+from repro.core.bounds import baseline_quality_bound
+from repro.core.full import build_full_shortcut
+from repro.graphs.generators import k_tree
+from repro.graphs.generators.classic import random_regular_expander
+from repro.graphs.partition import voronoi_partition
+from repro.graphs.trees import bfs_tree
+
+
+def _run_bound_check():
+    rows = []
+    for name, graph in (
+        ("expander n=256", random_regular_expander(256, 4, rng=1)),
+        ("k-tree n=256", k_tree(256, 3, rng=2)),
+    ):
+        tree = bfs_tree(graph)
+        partition = voronoi_partition(graph, 30, rng=3)
+        shortcut = bfs_tree_shortcut(graph, partition, tree=tree)
+        quality = shortcut.quality(exact=False)
+        bound = baseline_quality_bound(graph.number_of_nodes(), tree.max_depth)
+        rows.append(
+            [name, tree.max_depth, quality.congestion, fmt(quality.dilation, 0),
+             fmt(quality.quality, 0), fmt(bound, 0)]
+        )
+        assert quality.quality <= bound
+    return rows
+
+
+def _run_comparison():
+    """Wheel with √n-sized rim arcs: the baseline's blind spot.
+
+    Arcs of size ≤ √n receive H = ∅ from the baseline, so their dilation is
+    their own Θ(√n) diameter although the graph's diameter is 2. The paper's
+    construction routes each arc through its own hub spokes: dilation O(1),
+    congestion O(1). The quality gap therefore grows like √n — the precise
+    failure mode motivating structure-aware shortcuts (Section 1.3 vs
+    Theorem 1.2).
+    """
+    from repro.graphs.generators import wheel_graph
+    from repro.graphs.partition import Partition
+
+    rows = []
+    ratios = []
+    for n in (257, 1025, 4097):
+        graph = wheel_graph(n)
+        rim = list(range(1, n))
+        arc_size = int(math.isqrt(n))
+        arcs = [rim[i : i + arc_size] for i in range(0, len(rim), arc_size)]
+        partition = Partition(graph, arcs, validate=False)
+        tree = bfs_tree(graph, root=0)  # star-shaped BFS tree, depth 1
+        ours = build_full_shortcut(graph, tree, partition, 3.0).shortcut.quality()
+        base = bfs_tree_shortcut(graph, partition, tree=tree).quality()
+        ratio = base.quality / max(ours.quality, 1)
+        ratios.append(ratio)
+        rows.append(
+            [n, len(arcs), fmt(ours.quality, 0), fmt(base.quality, 0), f"{ratio:.1f}x"]
+        )
+    # The gap must grow with n (the sqrt(n) failure mode).
+    assert ratios == sorted(ratios), ratios
+    assert ratios[-1] > 4 * ratios[0] / 3, ratios
+    return rows
+
+
+def test_e11_baseline_bound(benchmark):
+    rows = _run_bound_check()
+    report(
+        "e11_baseline_bound",
+        "Section 1.3: baseline quality within 2D + 2 sqrt(n)",
+        ["instance", "D", "congestion", "dilation", "quality", "bound"],
+        rows,
+    )
+    graph = random_regular_expander(256, 4, rng=1)
+    partition = voronoi_partition(graph, 30, rng=3)
+    benchmark(lambda: bfs_tree_shortcut(graph, partition))
+
+
+def test_e11_baseline_vs_theorem31(benchmark):
+    rows = _run_comparison()
+    report(
+        "e11_baseline_vs_ours",
+        "baseline vs Theorem 3.1 quality on wheel rim arcs (gap grows ~ sqrt(n))",
+        ["n", "arcs", "ours Q", "baseline Q", "ratio"],
+        rows,
+    )
+    graph = k_tree(256, 2, rng=5, locality=0.0)
+    tree = bfs_tree(graph)
+    partition = voronoi_partition(graph, 32, rng=6)
+    benchmark(lambda: build_full_shortcut(graph, tree, partition, 2.0))

@@ -1,0 +1,96 @@
+"""E12 — Section 2: part-wise aggregation on the wheel, and scheduling.
+
+Paper claims measured here:
+
+* the wheel's rim part needs Θ(n) rounds without shortcuts and O(1) with
+  the spoke shortcut (diameter-2 graph, diameter-2 behaviour);
+* scheduling ablation: random delays vs zero delays vs sequential
+  scheduling of many simultaneous parts (the O(c + d log n) claim behind
+  Definition 2.2's congestion parameter).
+"""
+
+from benchmarks.common import report
+from repro.core.full import build_full_shortcut
+from repro.core.shortcut import Shortcut
+from repro.graphs.generators import grid_graph, wheel_graph
+from repro.graphs.partition import Partition, grid_rows_partition
+from repro.graphs.trees import bfs_tree
+from repro.sched import partwise_aggregate
+
+
+def _run_wheel():
+    rows = []
+    for n in (65, 257, 1025):
+        graph = wheel_graph(n)
+        rim = list(range(1, n))
+        partition = Partition(graph, [rim])
+        values = {v: v for v in rim}
+        slow = partwise_aggregate(
+            graph, partition, Shortcut(graph, partition, [[]]), values, max, rng=1
+        )
+        spokes = Shortcut(graph, partition, [[(0, v) for v in rim]])
+        fast = partwise_aggregate(graph, partition, spokes, values, max, rng=1)
+        assert slow.values[0] == fast.values[0] == n - 1
+        rows.append([n, slow.stats.rounds, fast.stats.rounds])
+        assert slow.stats.rounds >= (n - 1) / 2 - 2
+        assert fast.stats.rounds <= 8
+    return rows
+
+
+def _run_scheduling():
+    graph = grid_graph(14, 14)
+    partition = grid_rows_partition(graph)
+    tree = bfs_tree(graph)
+    shortcut = build_full_shortcut(graph, tree, partition, 3.0).shortcut
+    values = {v: 1 for v in graph.nodes()}
+    rows = []
+    rounds = {}
+    for mode in ("random", "zero", "sequential"):
+        result = partwise_aggregate(
+            graph, partition, shortcut, values, lambda a, b: a + b,
+            rng=3, delay_mode=mode,
+        )
+        assert not result.incomplete
+        rounds[mode] = result.stats.rounds
+        rows.append([mode, result.stats.rounds, result.max_edge_load, result.max_tree_depth])
+    assert rounds["random"] <= rounds["sequential"]
+    return rows
+
+
+def test_e12_wheel(benchmark):
+    rows = _run_wheel()
+    report(
+        "e12_wheel",
+        "Section 2: rim aggregation rounds, no shortcut vs spokes",
+        ["n", "no shortcut", "with spokes"],
+        rows,
+    )
+    graph = wheel_graph(257)
+    rim = list(range(1, 257))
+    partition = Partition(graph, [rim])
+    spokes = Shortcut(graph, partition, [[(0, v) for v in rim]])
+    benchmark(
+        lambda: partwise_aggregate(
+            graph, partition, spokes, {v: v for v in rim}, max, rng=1
+        )
+    )
+
+
+def test_e12_scheduling_ablation(benchmark):
+    rows = _run_scheduling()
+    report(
+        "e12_scheduling",
+        "random-delay scheduling vs alternatives (grid rows)",
+        ["delay mode", "rounds", "edge load c", "routing depth d"],
+        rows,
+    )
+    graph = grid_graph(12, 12)
+    partition = grid_rows_partition(graph)
+    tree = bfs_tree(graph)
+    shortcut = build_full_shortcut(graph, tree, partition, 3.0).shortcut
+    values = {v: 1 for v in graph.nodes()}
+    benchmark(
+        lambda: partwise_aggregate(
+            graph, partition, shortcut, values, lambda a, b: a + b, rng=3
+        )
+    )

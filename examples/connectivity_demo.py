@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Subgraph connectivity through shortcuts — the "other" application.
+
+A subgraph H of the communication graph G can have components of enormous
+diameter even when G's diameter is tiny (the wheel problem, again). The
+label-merging connectivity algorithm treats current components as parts
+and hooks them together through shortcut-accelerated aggregations:
+O(log n) phases, each O~(shortcut quality) rounds.
+
+The demo thins a grid's edges to a random maze-like subgraph and counts
+its components distributedly, cross-checking networkx.
+"""
+
+import random
+
+import networkx as nx
+
+from repro.apps.connectivity import subgraph_components
+from repro.graphs.adjacency import canonical_edge
+from repro.graphs.generators import grid_graph
+
+
+def main() -> None:
+    graph = grid_graph(14, 14)
+    rng = random.Random(42)
+    kept = {
+        canonical_edge(u, v) for u, v in graph.edges() if rng.random() < 0.45
+    }
+    print(f"G: 14x14 grid (n={graph.number_of_nodes()}, diameter 26)")
+    print(f"H: random 45% of the grid edges ({len(kept)} edges)\n")
+
+    result = subgraph_components(graph, kept, rng=1)
+
+    subgraph = nx.Graph()
+    subgraph.add_nodes_from(graph.nodes())
+    subgraph.add_edges_from(kept)
+    expected = nx.number_connected_components(subgraph)
+    largest = max(nx.connected_components(subgraph), key=len)
+
+    print(f"components found : {result.num_components} (networkx: {expected})")
+    print(f"largest component: {len(largest)} nodes, "
+          f"H-diameter {nx.diameter(subgraph.subgraph(largest))} "
+          "(vs G-diameter 26)")
+    print(f"phases           : {result.phases}")
+    print(f"measured rounds  : {result.stats.rounds}")
+    assert result.num_components == expected
+    print("\ndistributed labels match networkx exactly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: build a shortcut, check it against the paper's bounds.
+
+Builds a planar grid (δ < 3), partitions it into BFS-Voronoi cells, runs
+the Theorem 3.1 / Observation 2.7 construction, and compares the measured
+congestion / dilation / block number against Theorem 1.2's formulas. Then
+solves one part-wise aggregation through the shortcut to show the end-to-end
+use case.
+"""
+
+from repro import bfs_tree, build_full_shortcut, grid_graph
+from repro.core.bounds import (
+    theorem12_congestion_bound,
+    theorem12_dilation_bound,
+)
+from repro.graphs.partition import voronoi_partition
+from repro.sched import partwise_aggregate
+
+WIDTH, HEIGHT = 24, 24
+NUM_PARTS = 40
+DELTA = 3.0  # planar graphs have minor density < 3
+
+
+def main() -> None:
+    graph = grid_graph(WIDTH, HEIGHT)
+    tree = bfs_tree(graph)
+    partition = voronoi_partition(graph, NUM_PARTS, rng=7)
+    print(f"graph: {WIDTH}x{HEIGHT} grid, n={graph.number_of_nodes()}, "
+          f"diameter D={WIDTH + HEIGHT - 2}, BFS depth={tree.max_depth}")
+    print(f"parts: {NUM_PARTS} BFS-Voronoi cells, delta = {DELTA} (planar)")
+
+    result = build_full_shortcut(graph, tree, partition, delta=DELTA)
+    quality = result.shortcut.quality()
+    print(f"\nfull shortcut built in {result.iterations} partial iterations")
+    print(f"  congestion : {quality.congestion:4d}  "
+          f"(Theorem 1.2 bound {theorem12_congestion_bound(DELTA, tree.max_depth, NUM_PARTS):.0f})")
+    print(f"  dilation   : {quality.dilation:4.0f}  "
+          f"(Theorem 1.2 bound {theorem12_dilation_bound(DELTA, tree.max_depth):.0f})")
+    print(f"  blocks     : {quality.block_number:4d}  (budget 8*delta = {8 * DELTA:.0f})")
+    print(f"  quality    : {quality.quality:4.0f}")
+
+    values = {v: v for v in graph.nodes()}
+    aggregation = partwise_aggregate(
+        graph, partition, result.shortcut, values, min, rng=1
+    )
+    print(f"\npart-wise MIN aggregation through the shortcut: "
+          f"{aggregation.stats.rounds} rounds "
+          f"(load c={aggregation.max_edge_load}, routing depth d={aggregation.max_tree_depth})")
+    sample = {i: aggregation.values[i] for i in range(min(5, NUM_PARTS))}
+    print(f"first aggregates (part -> min node id): {sample}")
+    assert all(
+        aggregation.values[i] == min(partition[i]) for i in range(NUM_PARTS)
+    ), "aggregation mismatch"
+    print("all aggregates verified against direct computation")
+
+
+if __name__ == "__main__":
+    main()

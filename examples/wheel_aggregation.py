@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""The Section 2 motivating example: part-wise aggregation on a wheel.
+
+A wheel graph has diameter 2, but the rim — a single part containing every
+node except the hub — induces a cycle of diameter Θ(n). Aggregating a value
+across the rim without shortcuts therefore takes Θ(n) rounds; letting the
+part borrow the hub's spokes (a 1-congestion shortcut) collapses this to a
+constant. This is precisely why the part-wise aggregation problem forces
+the shortcut notion (Definition 2.2).
+"""
+
+from repro.core.shortcut import Shortcut
+from repro.graphs.generators import wheel_graph
+from repro.graphs.partition import Partition
+from repro.sched import partwise_aggregate
+
+
+def run(n: int) -> tuple[int, int]:
+    graph = wheel_graph(n)
+    rim = list(range(1, n))
+    partition = Partition(graph, [rim])
+    values = {v: v for v in rim}
+
+    no_shortcut = Shortcut(graph, partition, [[]])
+    slow = partwise_aggregate(graph, partition, no_shortcut, values, max, rng=1)
+
+    spokes = Shortcut(graph, partition, [[(0, v) for v in rim]])
+    fast = partwise_aggregate(graph, partition, spokes, values, max, rng=1)
+
+    assert slow.values[0] == fast.values[0] == n - 1
+    return slow.stats.rounds, fast.stats.rounds
+
+
+def main() -> None:
+    print(f"{'n':>6} | {'no shortcut':>12} | {'with spokes':>12}")
+    print("-" * 38)
+    for n in (33, 65, 129, 257, 513):
+        slow_rounds, fast_rounds = run(n)
+        print(f"{n:>6} | {slow_rounds:>12} | {fast_rounds:>12}")
+    print("\nno-shortcut rounds grow linearly with n (rim diameter);")
+    print("the spoke shortcut pins them at a small constant — diameter-2 graph,")
+    print("diameter-2 behaviour, exactly the paper's motivation.")
+
+
+if __name__ == "__main__":
+    main()

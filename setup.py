@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e .`` to fall back to ``setup.py develop`` on
+environments without the ``wheel`` package (PEP 660 editable installs need
+``bdist_wheel``). All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

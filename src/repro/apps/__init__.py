@@ -1,0 +1,30 @@
+"""Applications built on shortcuts: MST, min-cut, SSSP.
+
+These are the paper's Corollaries 1.6 and 1.7 (plus the shortest-path
+demonstration): global graph problems whose distributed round complexity is
+driven by the part-wise aggregation time, hence by the shortcut quality.
+"""
+
+from repro.apps.connectivity import ConnectivityResult, subgraph_components
+from repro.apps.mincut import MinCutResult, distributed_mincut
+from repro.apps.mst import MstResult, distributed_mst
+from repro.apps.partwise import (
+    PartwiseSolution,
+    solve_partwise_aggregation,
+    solve_partwise_multicast,
+)
+from repro.apps.sssp import bellman_ford_sssp, distributed_bfs_sssp
+
+__all__ = [
+    "MstResult",
+    "distributed_mst",
+    "MinCutResult",
+    "distributed_mincut",
+    "bellman_ford_sssp",
+    "distributed_bfs_sssp",
+    "ConnectivityResult",
+    "subgraph_components",
+    "PartwiseSolution",
+    "solve_partwise_aggregation",
+    "solve_partwise_multicast",
+]

@@ -1,0 +1,186 @@
+"""The part-wise aggregation problem, end to end (Definition 2.1).
+
+This is the library's highest-level entry point: given a graph, a part
+collection, and per-node values, solve the part-wise aggregation problem —
+choose a shortcut method, construct the shortcut, schedule the aggregation,
+and return per-part aggregates with full measured round accounting. The
+paper's whole program is that this function's round count is O~(δD) instead
+of O~(D + √n) on minor-sparse graphs.
+
+Also provides the *multicast* variant from Definition 2.1 ("exactly one
+node in each part has a message and it should be delivered to all nodes of
+the part"), which reuses the same scheduling engine: the leader's value is
+what the broadcast phase delivers.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.congest.stats import RoundStats
+from repro.core.baseline import bfs_tree_shortcut
+from repro.core.full import build_full_shortcut
+from repro.core.shortcut import Shortcut
+from repro.graphs.partition import Partition
+from repro.graphs.trees import bfs_tree
+from repro.sched.partwise import partwise_aggregate
+from repro.util.errors import ShortcutError
+from repro.util.rng import ensure_rng
+
+__all__ = ["PartwiseSolution", "solve_partwise_aggregation", "solve_partwise_multicast"]
+
+
+@dataclass
+class PartwiseSolution:
+    """Everything a caller needs from an end-to-end part-wise aggregation.
+
+    Attributes:
+        values: aggregate (or delivered message) per part index.
+        shortcut: the shortcut used (inspectable: quality, blocks, ...).
+        construction_stats: measured construction rounds ("simulated" mode)
+            or zero ("centralized" planning).
+        aggregation_stats: measured scheduling rounds.
+        total_rounds: construction + aggregation rounds.
+    """
+
+    values: dict[int, object]
+    shortcut: Shortcut
+    construction_stats: RoundStats
+    aggregation_stats: RoundStats
+
+    @property
+    def total_rounds(self) -> int:
+        return self.construction_stats.rounds + self.aggregation_stats.rounds
+
+
+def _construct_shortcut(
+    graph: nx.Graph,
+    partition: Partition,
+    method: str,
+    construction: str,
+    delta: float | None,
+    rng: random.Random,
+) -> tuple[Shortcut, RoundStats]:
+    if method == "none":
+        return Shortcut(graph, partition, [[] for _ in partition]), RoundStats()
+    if method == "baseline":
+        tree = bfs_tree(graph)
+        shortcut = bfs_tree_shortcut(graph, partition, tree=tree)
+        return shortcut, RoundStats(rounds=tree.max_depth + 1)
+    if method != "theorem31":
+        raise ShortcutError(f"unknown shortcut method {method!r}")
+    if delta is None:
+        from repro.graphs.minors import analytic_delta_upper
+        from repro.graphs.properties import degeneracy
+
+        delta = analytic_delta_upper(graph)
+        if delta is None:
+            delta = max(1.0, float(degeneracy(graph)))
+    if construction == "centralized":
+        tree = bfs_tree(graph)
+        result = build_full_shortcut(graph, tree, partition, delta, escalate_on_stall=True)
+        return result.shortcut, RoundStats()
+    if construction != "simulated":
+        raise ShortcutError(f"unknown construction {construction!r}")
+    from repro.apps.mst import _build_shortcut  # shared Obs 2.7 driver
+
+    tree = bfs_tree(graph)
+    return _build_shortcut(
+        graph, tree, partition, "theorem31", "simulated", delta, rng
+    )
+
+
+def solve_partwise_aggregation(
+    graph: nx.Graph,
+    partition: Partition,
+    values: dict[int, object],
+    combine: Callable[[object, object], object],
+    shortcut_method: str = "theorem31",
+    construction: str = "centralized",
+    delta: float | None = None,
+    rng: int | random.Random | None = None,
+) -> PartwiseSolution:
+    """Solve Definition 2.1's aggregation variant end to end.
+
+    Args:
+        graph, partition: the instance (parts disjoint & connected).
+        values: per-node inputs (part nodes only; others ignored).
+        combine: associative-commutative aggregate (min, max, +, ...).
+        shortcut_method: ``"theorem31"``, ``"baseline"``, or ``"none"``
+            (aggregate within bare ``G[P_i]`` — the slow control arm).
+        construction: ``"centralized"`` (free planning) or ``"simulated"``
+            (measured Theorem 1.5 pipeline rounds included).
+        delta: minor-density parameter; default analytic-or-degeneracy.
+
+    Raises:
+        ShortcutError: unknown method/construction, or an aggregation that
+            cannot complete (disconnected ``G[P_i] + H_i``).
+    """
+    rng = ensure_rng(rng)
+    shortcut, construction_stats = _construct_shortcut(
+        graph, partition, shortcut_method, construction, delta, rng
+    )
+    result = partwise_aggregate(graph, partition, shortcut, values, combine, rng=rng)
+    if result.incomplete:
+        raise ShortcutError(
+            f"aggregation incomplete for parts {result.incomplete}; "
+            "increase max_rounds or use a better shortcut method"
+        )
+    return PartwiseSolution(
+        values=result.values,
+        shortcut=shortcut,
+        construction_stats=construction_stats,
+        aggregation_stats=result.stats,
+    )
+
+
+def solve_partwise_multicast(
+    graph: nx.Graph,
+    partition: Partition,
+    messages: dict[int, object],
+    shortcut_method: str = "theorem31",
+    construction: str = "centralized",
+    delta: float | None = None,
+    rng: int | random.Random | None = None,
+) -> PartwiseSolution:
+    """Definition 2.1's multicast variant: one message per part, to all members.
+
+    ``messages`` maps each part index to the message its leader holds. The
+    scheduling engine's broadcast phase delivers it to every part node; the
+    returned ``values[i]`` is the delivered message (asserted identical to
+    the input — the engine's convergecast carries it up from the leader).
+
+    Raises:
+        ShortcutError: if a part index has no message or delivery fails.
+    """
+    missing = [i for i in range(len(partition)) if i not in messages]
+    if missing:
+        raise ShortcutError(f"no message provided for parts {missing[:5]}")
+    leader_values = {
+        partition.leader_of(index): (index, message)
+        for index, message in messages.items()
+    }
+
+    def keep_message(a, b):
+        # Exactly one non-None input per part (the leader's); combine is
+        # only invoked when both sides are present, which happens only if a
+        # caller double-assigned messages — prefer the lower part index for
+        # determinism.
+        return min(a, b)
+
+    solution = solve_partwise_aggregation(
+        graph,
+        partition,
+        leader_values,
+        keep_message,
+        shortcut_method=shortcut_method,
+        construction=construction,
+        delta=delta,
+        rng=rng,
+    )
+    solution.values = {index: value[1] for index, value in solution.values.items()}
+    return solution

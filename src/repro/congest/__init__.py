@@ -1,0 +1,15 @@
+"""A synchronous CONGEST-model simulator.
+
+The CONGEST model (Peleg 2000): in each round every node may send one
+``O(log n)``-bit message to each neighbor. The simulator enforces both the
+one-message-per-edge-direction rule (structurally: an outbox maps each
+neighbor to at most one payload) and the bit budget (via
+:mod:`repro.util.bitsize`), and counts rounds and messages so distributed
+algorithms report *measured* complexities.
+"""
+
+from repro.congest.network import NodeContext, SyncNetwork
+from repro.congest.node import NodeAlgorithm
+from repro.congest.stats import RoundStats
+
+__all__ = ["SyncNetwork", "NodeContext", "NodeAlgorithm", "RoundStats"]

@@ -1,0 +1,185 @@
+"""The synchronous network scheduler.
+
+One :class:`SyncNetwork` wraps a graph and executes a dictionary of
+:class:`~repro.congest.node.NodeAlgorithm` instances in lockstep rounds:
+
+* round ``r``: every node's ``on_round`` consumes the messages sent to it
+  in round ``r - 1`` and emits at most one message per neighbor;
+* messages are validated against adjacency and the per-message bit budget;
+* the run stops at quiescence (no messages in flight, no node keep-alive)
+  or at ``max_rounds``.
+
+The per-message budget defaults to ``BANDWIDTH_FACTOR * ceil(log2 n)`` bits
+— the constant in CONGEST's ``O(log n)`` is arbitrary, but fixing one keeps
+algorithms honest: anything that tries to ship a whole subtree in one round
+raises :class:`~repro.util.errors.CongestViolation`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import networkx as nx
+
+from repro.congest.node import NodeAlgorithm
+from repro.congest.stats import RoundStats
+from repro.util.bitsize import payload_bits
+from repro.util.errors import CongestViolation, GraphStructureError
+from repro.util.rng import ensure_rng
+
+__all__ = ["SyncNetwork", "NodeContext", "BANDWIDTH_FACTOR"]
+
+# Messages may carry up to BANDWIDTH_FACTOR * ceil(log2 n) bits. A small
+# constant number of node ids / counters per message, as used by every
+# algorithm in this library, fits comfortably.
+BANDWIDTH_FACTOR = 8
+
+
+class NodeContext:
+    """Read-only view of a node's environment plus the keep-alive latch."""
+
+    __slots__ = ("node", "neighbors", "round", "num_nodes", "rng", "_keep_alive")
+
+    def __init__(
+        self,
+        node: int,
+        neighbors: tuple[int, ...],
+        num_nodes: int,
+        rng: random.Random,
+    ):
+        self.node = node
+        self.neighbors = neighbors
+        self.round = 0
+        self.num_nodes = num_nodes
+        self.rng = rng
+        self._keep_alive = False
+
+    def keep_alive(self) -> None:
+        """Prevent quiescence this round even without sending a message.
+
+        Needed by algorithms with internal timers (e.g. level-synchronized
+        phases) that must be woken again although the network is silent.
+        """
+        self._keep_alive = True
+
+
+class SyncNetwork:
+    """Synchronous executor for a set of node algorithms on a graph.
+
+    Args:
+        graph: the communication topology.
+        bandwidth_bits: per-message payload budget; defaults to
+            ``BANDWIDTH_FACTOR * ceil(log2 n)``.
+        enforce_bandwidth: disable only for experiments that deliberately
+            exceed the model (never done in this library's algorithms).
+        rng: seed or generator feeding every node's ``ctx.rng``.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        bandwidth_bits: int | None = None,
+        enforce_bandwidth: bool = True,
+        rng: int | random.Random | None = None,
+    ):
+        if graph.number_of_nodes() == 0:
+            raise GraphStructureError("cannot build a network on an empty graph")
+        self.graph = graph
+        n = graph.number_of_nodes()
+        if bandwidth_bits is None:
+            bandwidth_bits = BANDWIDTH_FACTOR * max(1, math.ceil(math.log2(max(n, 2))))
+        self.bandwidth_bits = bandwidth_bits
+        self.enforce_bandwidth = enforce_bandwidth
+        self._rng = ensure_rng(rng)
+
+    def run(
+        self,
+        algorithms: dict[int, NodeAlgorithm],
+        max_rounds: int = 10**6,
+        raise_on_timeout: bool = True,
+    ) -> tuple[dict[int, object], RoundStats]:
+        """Execute until quiescence (or ``max_rounds``).
+
+        Args:
+            algorithms: one algorithm instance per graph node.
+            max_rounds: hard stop.
+            raise_on_timeout: raise :class:`CongestViolation` if the run hits
+                ``max_rounds`` without quiescing (off for algorithms that
+                intentionally run forever and are sampled mid-flight).
+
+        Returns:
+            ``(results, stats)`` where ``results[v]`` is
+            ``algorithms[v].result()``.
+
+        Raises:
+            GraphStructureError: if ``algorithms`` does not cover the nodes.
+            CongestViolation: on model violations or timeout.
+        """
+        nodes = list(self.graph.nodes())
+        if set(algorithms) != set(nodes):
+            raise GraphStructureError("algorithms must cover exactly the graph nodes")
+        contexts = {
+            v: NodeContext(
+                v,
+                tuple(self.graph.neighbors(v)),
+                len(nodes),
+                random.Random(self._rng.randrange(2**62)),
+            )
+            for v in nodes
+        }
+        stats = RoundStats()
+        # Initial sends (round 0).
+        in_flight: dict[int, dict[int, object]] = {v: {} for v in nodes}
+        any_alive = False
+        for v in nodes:
+            outbox = algorithms[v].on_start(contexts[v]) or {}
+            self._validate_outbox(v, outbox)
+            for target, payload in outbox.items():
+                in_flight[target][v] = payload
+                stats.messages += 1
+                stats.message_bits += payload_bits(payload)
+                any_alive = True
+            if contexts[v]._keep_alive:
+                any_alive = True
+
+        while any_alive:
+            if stats.rounds >= max_rounds:
+                if raise_on_timeout:
+                    raise CongestViolation(
+                        f"execution did not quiesce within {max_rounds} rounds"
+                    )
+                break
+            stats.rounds += 1
+            next_flight: dict[int, dict[int, object]] = {v: {} for v in nodes}
+            any_alive = False
+            for v in nodes:
+                ctx = contexts[v]
+                ctx.round = stats.rounds
+                ctx._keep_alive = False
+                outbox = algorithms[v].on_round(ctx, in_flight[v]) or {}
+                self._validate_outbox(v, outbox)
+                for target, payload in outbox.items():
+                    next_flight[target][v] = payload
+                    stats.messages += 1
+                    stats.message_bits += payload_bits(payload)
+                    any_alive = True
+                if ctx._keep_alive:
+                    any_alive = True
+            in_flight = next_flight
+        results = {v: algorithms[v].result() for v in nodes}
+        return results, stats
+
+    def _validate_outbox(self, sender: int, outbox: dict[int, object]) -> None:
+        for target, payload in outbox.items():
+            if not self.graph.has_edge(sender, target):
+                raise CongestViolation(
+                    f"node {sender} tried to message non-neighbor {target}"
+                )
+            if self.enforce_bandwidth:
+                bits = payload_bits(payload)
+                if bits > self.bandwidth_bits:
+                    raise CongestViolation(
+                        f"node {sender} sent a {bits}-bit message to {target}; "
+                        f"budget is {self.bandwidth_bits} bits"
+                    )

@@ -1,0 +1,36 @@
+"""Per-node algorithm interface for the CONGEST simulator."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.congest.network import NodeContext
+
+__all__ = ["NodeAlgorithm"]
+
+
+class NodeAlgorithm:
+    """Base class for a node's state machine.
+
+    Subclasses override :meth:`on_round`. Each round the network calls it
+    with the messages received *this round* (sent by neighbors in the
+    previous round); the return value is the outbox: a mapping from
+    neighbor ids to payloads (at most one per neighbor — the CONGEST rule).
+
+    A node that returns an empty outbox and does not call
+    ``ctx.keep_alive()`` is considered passive; the network stops when every
+    node is passive in the same round (quiescence).
+    """
+
+    def on_start(self, ctx: "NodeContext") -> dict[int, object]:
+        """Called once before round 1; returns the initial outbox."""
+        return {}
+
+    def on_round(self, ctx: "NodeContext", inbox: dict[int, object]) -> dict[int, object]:
+        """Process one round. ``inbox`` maps sender id -> payload."""
+        raise NotImplementedError
+
+    def result(self) -> object:
+        """Final per-node output, collected by the network after the run."""
+        return None

@@ -1,0 +1,98 @@
+"""Distributed BFS-tree construction (flooding).
+
+The root announces depth 0; every node adopts as parent the smallest-id
+neighbor among the first announcements it hears, replies with a JOIN so
+parents learn their children, and re-announces. Completes in
+``eccentricity(root) + O(1)`` rounds with one message per edge direction —
+the textbook CONGEST BFS.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+
+from repro.congest.network import SyncNetwork
+from repro.congest.node import NodeAlgorithm
+from repro.congest.stats import RoundStats
+from repro.graphs.trees import RootedTree
+from repro.util.errors import GraphStructureError
+
+__all__ = ["distributed_bfs", "BfsNode"]
+
+_ADV = 0  # ("adv" message tag, depth)
+_JOIN = 1  # join message tag
+
+
+class BfsNode(NodeAlgorithm):
+    """Per-node state machine for BFS flooding."""
+
+    def __init__(self, node: int, is_root: bool):
+        self.node = node
+        self.is_root = is_root
+        self.parent: int | None = None
+        self.depth: int | None = 0 if is_root else None
+        self.children: list[int] = []
+
+    def on_start(self, ctx):
+        if not self.is_root:
+            return {}
+        return {neighbor: (_ADV, 0) for neighbor in ctx.neighbors}
+
+    def on_round(self, ctx, inbox):
+        outbox: dict[int, object] = {}
+        advertisers = []
+        for sender, payload in inbox.items():
+            tag = payload[0]
+            if tag == _ADV:
+                advertisers.append((sender, payload[1]))
+            elif tag == _JOIN:
+                self.children.append(sender)
+        if self.depth is None and advertisers:
+            # All first-round advertisers have the same depth (synchronous
+            # flooding); adopt the smallest id for determinism.
+            parent, parent_depth = min(advertisers)
+            self.parent = parent
+            self.depth = parent_depth + 1
+            outbox[parent] = (_JOIN,)
+            for neighbor in ctx.neighbors:
+                if neighbor != parent:
+                    outbox[neighbor] = (_ADV, self.depth)
+        return outbox
+
+    def result(self):
+        return {
+            "parent": self.parent,
+            "depth": self.depth,
+            "children": tuple(sorted(self.children)),
+        }
+
+
+def distributed_bfs(
+    graph: nx.Graph,
+    root: int,
+    rng: int | random.Random | None = None,
+) -> tuple[RootedTree, RoundStats]:
+    """Build a BFS tree of ``graph`` from ``root`` in the CONGEST model.
+
+    Returns:
+        the tree and the measured execution stats
+        (``rounds ≈ eccentricity(root) + 1``).
+
+    Raises:
+        GraphStructureError: if the graph is disconnected (some node never
+            joins the tree).
+    """
+    if root not in graph:
+        raise GraphStructureError(f"root {root} is not in the graph")
+    network = SyncNetwork(graph, rng=rng)
+    algorithms = {v: BfsNode(v, v == root) for v in graph.nodes()}
+    results, stats = network.run(algorithms)
+    parent = {v: results[v]["parent"] for v in graph.nodes()}
+    unjoined = [v for v, p in parent.items() if p is None and v != root]
+    if unjoined:
+        raise GraphStructureError(
+            f"graph is disconnected: {len(unjoined)} nodes never joined the BFS tree"
+        )
+    return RootedTree(root, parent), stats

@@ -1,0 +1,115 @@
+"""Broadcast and convergecast on a known rooted tree.
+
+Both primitives assume each node already knows its parent and children
+(e.g. from :func:`repro.congest.primitives.bfs.distributed_bfs`) and
+complete in ``depth + O(1)`` rounds.
+
+Convergecast payloads must stay within the CONGEST bit budget, so the
+combiner must produce constant-size aggregates (min / max / sum / count —
+exactly the aggregates of the part-wise aggregation problem,
+Definition 2.1).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+
+import networkx as nx
+
+from repro.congest.network import SyncNetwork
+from repro.congest.node import NodeAlgorithm
+from repro.congest.stats import RoundStats
+from repro.graphs.trees import RootedTree
+
+__all__ = ["tree_broadcast", "tree_aggregate"]
+
+
+class _BroadcastNode(NodeAlgorithm):
+    def __init__(self, node: int, tree: RootedTree, value: object):
+        self.node = node
+        self.children = tree.children_of(node)
+        self.is_root = node == tree.root
+        self.value = value if self.is_root else None
+
+    def on_start(self, ctx):
+        if self.is_root:
+            return {child: self.value for child in self.children}
+        return {}
+
+    def on_round(self, ctx, inbox):
+        if self.value is None and inbox:
+            self.value = next(iter(inbox.values()))
+            return {child: self.value for child in self.children}
+        return {}
+
+    def result(self):
+        return self.value
+
+
+def tree_broadcast(
+    graph: nx.Graph,
+    tree: RootedTree,
+    value: object,
+    rng: int | random.Random | None = None,
+) -> tuple[dict[int, object], RoundStats]:
+    """Send ``value`` from the tree root to every node (``depth`` rounds)."""
+    network = SyncNetwork(graph, rng=rng)
+    algorithms = {v: _BroadcastNode(v, tree, value) for v in graph.nodes()}
+    return network.run(algorithms)
+
+
+class _AggregateNode(NodeAlgorithm):
+    def __init__(
+        self,
+        node: int,
+        tree: RootedTree,
+        value: object,
+        combine: Callable[[object, object], object],
+    ):
+        self.node = node
+        self.parent = tree.parent_of(node)
+        self.pending = set(tree.children_of(node))
+        self.accumulator = value
+        self.combine = combine
+        self.sent = False
+
+    def _ready_outbox(self):
+        if self.pending or self.sent:
+            return {}
+        self.sent = True
+        if self.parent is None:
+            return {}
+        return {self.parent: self.accumulator}
+
+    def on_start(self, ctx):
+        return self._ready_outbox()
+
+    def on_round(self, ctx, inbox):
+        for sender, payload in inbox.items():
+            self.pending.discard(sender)
+            self.accumulator = self.combine(self.accumulator, payload)
+        return self._ready_outbox()
+
+    def result(self):
+        return self.accumulator
+
+
+def tree_aggregate(
+    graph: nx.Graph,
+    tree: RootedTree,
+    values: dict[int, object],
+    combine: Callable[[object, object], object],
+    rng: int | random.Random | None = None,
+) -> tuple[object, RoundStats]:
+    """Combine per-node ``values`` up the tree; the root's total is returned.
+
+    ``combine`` must be associative and commutative and keep payloads within
+    the bit budget (ints, small tuples).
+    """
+    network = SyncNetwork(graph, rng=rng)
+    algorithms = {
+        v: _AggregateNode(v, tree, values[v], combine) for v in graph.nodes()
+    }
+    results, stats = network.run(algorithms)
+    return results[tree.root], stats

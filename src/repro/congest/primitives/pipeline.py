@@ -1,0 +1,91 @@
+"""Pipelined multi-item convergecast: collect the k smallest items at the root.
+
+The workhorse behind "collect a bounded number of ids/values at the root"
+steps (e.g. gathering candidate edges, or the sweep's distinct-id streams).
+Each node forwards, one item per round, the smallest items it has seen and
+not yet sent, keeping only ``k``; classic pipelining gives ``O(depth + k)``
+rounds — the measured complexity asserted in the tests.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+
+from repro.congest.network import SyncNetwork
+from repro.congest.node import NodeAlgorithm
+from repro.congest.stats import RoundStats
+from repro.graphs.trees import RootedTree
+from repro.util.errors import GraphStructureError
+
+__all__ = ["pipelined_top_k", "TopKNode"]
+
+
+class TopKNode(NodeAlgorithm):
+    """Forwards its k smallest known items upward, one per round."""
+
+    def __init__(self, node: int, tree: RootedTree, items: list, k: int, horizon: int):
+        self.node = node
+        self.parent = tree.parent_of(node)
+        self.k = k
+        self.known: list = sorted(items)[:k]
+        self.sent: set = set()
+        self.horizon = horizon
+
+    def on_start(self, ctx):
+        ctx.keep_alive()
+        return {}
+
+    def on_round(self, ctx, inbox):
+        for payload in inbox.values():
+            if payload not in self.known:
+                self.known.append(payload)
+                self.known.sort()
+                del self.known[self.k :]
+        outbox = {}
+        if self.parent is not None:
+            for item in self.known:
+                if item not in self.sent:
+                    self.sent.add(item)
+                    outbox[self.parent] = item
+                    break
+        if ctx.round < self.horizon:
+            ctx.keep_alive()
+        return outbox
+
+    def result(self):
+        return tuple(self.known)
+
+
+def pipelined_top_k(
+    graph: nx.Graph,
+    tree: RootedTree,
+    items: dict[int, list],
+    k: int,
+    rng: int | random.Random | None = None,
+) -> tuple[tuple, RoundStats]:
+    """Collect the k globally-smallest items at the tree root.
+
+    Args:
+        graph: the communication graph (the tree's host).
+        tree: a rooted spanning tree.
+        items: per-node lists of comparable, hashable, CONGEST-sized items.
+        k: how many to collect.
+
+    Returns:
+        ``(top_k_items, stats)`` with ``stats.rounds = O(depth + k)``.
+
+    Raises:
+        GraphStructureError: if ``k < 1``.
+    """
+    if k < 1:
+        raise GraphStructureError(f"k must be positive, got {k}")
+    horizon = tree.max_depth + k + 2
+    network = SyncNetwork(graph, rng=rng)
+    algorithms = {
+        v: TopKNode(v, tree, list(items.get(v, [])), k, horizon)
+        for v in graph.nodes()
+    }
+    results, stats = network.run(algorithms)
+    return results[tree.root], stats

@@ -1,0 +1,55 @@
+"""Round and message accounting for CONGEST executions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RoundStats"]
+
+
+@dataclass
+class RoundStats:
+    """Measured cost of a distributed execution (or a phase of one).
+
+    Attributes:
+        rounds: number of synchronous rounds executed.
+        messages: total messages delivered.
+        message_bits: total payload bits delivered.
+        phases: optional named breakdown (phase name -> RoundStats); the
+            top-level numbers are always the totals.
+    """
+
+    rounds: int = 0
+    messages: int = 0
+    message_bits: int = 0
+    phases: dict[str, "RoundStats"] = field(default_factory=dict)
+
+    def __add__(self, other: "RoundStats") -> "RoundStats":
+        """Sequential composition: rounds and messages add."""
+        return RoundStats(
+            rounds=self.rounds + other.rounds,
+            messages=self.messages + other.messages,
+            message_bits=self.message_bits + other.message_bits,
+            phases={**self.phases, **other.phases},
+        )
+
+    def add_phase(self, name: str, stats: "RoundStats") -> None:
+        """Record ``stats`` as a named phase and add it to the totals.
+
+        Phase names must be unique; re-using one raises ``ValueError`` so
+        silently overwritten accounting can't happen.
+        """
+        if name in self.phases:
+            raise ValueError(f"phase {name!r} already recorded")
+        self.phases[name] = stats
+        self.rounds += stats.rounds
+        self.messages += stats.messages
+        self.message_bits += stats.message_bits
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        parts = [f"rounds={self.rounds}", f"messages={self.messages}"]
+        if self.phases:
+            inner = ", ".join(f"{name}: {s.rounds}r" for name, s in self.phases.items())
+            parts.append(f"phases[{inner}]")
+        return " ".join(parts)

@@ -1,0 +1,43 @@
+"""The paper's contribution: low-congestion shortcuts for dense-minor-free graphs.
+
+Public entry points:
+
+* :func:`repro.core.partial.build_partial_shortcut` — Theorem 3.1: the
+  bottom-up overcongestion marking that yields tree-restricted
+  ``8δD``-congestion ``8δ``-block partial shortcuts.
+* :func:`repro.core.full.build_full_shortcut` — Observation 2.7: iterate
+  partial shortcuts into a full shortcut (congestion × log₂ k).
+* :func:`repro.core.certifying.certify_or_shortcut` — the certifying
+  variant: a shortcut or a dense-minor witness (case II of the proof).
+* :func:`repro.core.baseline.bfs_tree_shortcut` — the folklore ``D + √n``
+  shortcut for general graphs (Section 1.3).
+* :func:`repro.core.distributed.distributed_partial_shortcut` — Theorem
+  1.5: the CONGEST construction with measured round complexity.
+"""
+
+from repro.core.baseline import bfs_tree_shortcut
+from repro.core.certifying import certify_or_shortcut, sample_dense_minor
+from repro.core.full import FullShortcutResult, adaptive_full_shortcut, build_full_shortcut
+from repro.core.partial import (
+    ConflictGraph,
+    PartialShortcutResult,
+    build_partial_shortcut,
+    mark_overcongested_edges,
+)
+from repro.core.shortcut import Shortcut, ShortcutQuality, TreeRestrictedShortcut
+
+__all__ = [
+    "Shortcut",
+    "ShortcutQuality",
+    "TreeRestrictedShortcut",
+    "ConflictGraph",
+    "PartialShortcutResult",
+    "build_partial_shortcut",
+    "mark_overcongested_edges",
+    "FullShortcutResult",
+    "build_full_shortcut",
+    "adaptive_full_shortcut",
+    "certify_or_shortcut",
+    "sample_dense_minor",
+    "bfs_tree_shortcut",
+]

@@ -1,0 +1,53 @@
+"""The folklore ``D + √n`` shortcut for general graphs (Section 1.3).
+
+"Let T be a BFS tree of G. Define ``H_i = ∅`` for each part with
+``|P_i| ≤ √n`` and ``H_i = T`` for any other part." Small parts keep their
+own induced diameter (≤ √n on a path-worst-case… actually ≤ their size);
+large parts ride the whole tree (dilation ≤ 2D), and at most ``√n`` parts
+can be large, bounding congestion by ``√n``.
+
+This is the quality benchmark the paper's shortcuts beat whenever
+``δ·D ≪ √n`` — the baseline arm of experiments E8 and E11.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+from repro.core.shortcut import TreeRestrictedShortcut
+from repro.graphs.partition import Partition
+from repro.graphs.trees import RootedTree, bfs_tree as build_bfs_tree
+
+__all__ = ["bfs_tree_shortcut"]
+
+
+def bfs_tree_shortcut(
+    graph: nx.Graph,
+    partition: Partition,
+    tree: RootedTree | None = None,
+    size_threshold: float | None = None,
+) -> TreeRestrictedShortcut:
+    """The ``D + √n`` general-graph shortcut.
+
+    Args:
+        graph: host graph.
+        partition: the parts.
+        tree: a rooted tree; defaults to a fresh BFS tree of ``graph``.
+        size_threshold: parts larger than this get the whole tree;
+            defaults to ``√n``.
+
+    Returns:
+        A tree-restricted shortcut with congestion ≤ ``n / threshold`` and
+        dilation ≤ ``max(2·depth, threshold)``.
+    """
+    if tree is None:
+        tree = build_bfs_tree(graph)
+    if size_threshold is None:
+        size_threshold = math.sqrt(graph.number_of_nodes())
+    all_edges = frozenset(tree.edge_children())
+    assignments = [
+        all_edges if len(part) > size_threshold else frozenset() for part in partition
+    ]
+    return TreeRestrictedShortcut(graph, partition, tree, assignments, validate=False)

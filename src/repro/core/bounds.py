@@ -1,0 +1,60 @@
+"""The paper's bound formulas, in one place.
+
+Tests and benchmarks compare *measured* quantities against these exact
+expressions, so the constants live here rather than being re-derived in
+each experiment.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "theorem31_congestion_budget",
+    "theorem31_block_budget",
+    "observation26_dilation_bound",
+    "theorem12_congestion_bound",
+    "theorem12_dilation_bound",
+    "lemma32_quality_bound",
+    "baseline_quality_bound",
+]
+
+
+def theorem31_congestion_budget(delta: float, depth: int) -> int:
+    """Theorem 3.1: partial-shortcut congestion budget ``c = 8δD``."""
+    return math.ceil(8 * delta * max(depth, 1))
+
+
+def theorem31_block_budget(delta: float) -> int:
+    """Theorem 3.1: partial-shortcut block budget ``8δ``."""
+    return math.ceil(8 * delta)
+
+
+def observation26_dilation_bound(blocks: int, depth: int) -> int:
+    """Observation 2.6: a ``b``-block tree-restricted shortcut has dilation ≤ ``b(2D+1)``."""
+    return blocks * (2 * depth + 1)
+
+
+def theorem12_congestion_bound(delta: float, depth: int, num_parts: int) -> float:
+    """Theorem 1.2 via Observation 2.7: full congestion ≤ ``8δD·log₂ k``.
+
+    The paper states ``O(δD log n)``; the concrete constant from iterating
+    the 8δD partial budget ``⌈log₂ k⌉`` times is used here (``k ≤ n``).
+    """
+    iterations = max(1.0, math.ceil(math.log2(max(num_parts, 2))))
+    return 8 * delta * max(depth, 1) * iterations
+
+
+def theorem12_dilation_bound(delta: float, depth: int) -> float:
+    """Theorem 1.2: full dilation ≤ ``8δ·(2D + 1)`` (block bound × Obs 2.6)."""
+    return math.ceil(8 * delta) * (2 * max(depth, 1) + 1)
+
+
+def lemma32_quality_bound(delta_prime: int, diameter_prime: int) -> float:
+    """Lemma 3.2: every (partial) shortcut has quality ≥ ``(δ'-3)·D'/6``."""
+    return (delta_prime - 3) * diameter_prime / 6.0
+
+
+def baseline_quality_bound(n: int, depth: int) -> float:
+    """Section 1.3: the BFS-tree baseline has quality ≤ ``2D + 2√n``."""
+    return 2 * depth + 2 * math.sqrt(n)

@@ -1,0 +1,304 @@
+"""Theorem 1.5: the distributed CONGEST construction of the shortcuts.
+
+Pipeline (each phase runs in the simulator and is measured):
+
+1. **bfs** — build a BFS tree from the root (``O(D)`` rounds).
+2. **meta** — convergecast the tree depth to the root and broadcast the
+   sweep parameters ``(seed, c, τ)`` (``O(D)`` rounds).
+3. **sweep** — the *level-synchronized sampled upward sweep*: each part is
+   sampled with the shared-seed probability ``p = Θ(log n)/c`` (so all of a
+   part's nodes agree without communication); sampled part-ids flow up the
+   tree one id per edge per round, level by level; a node whose accumulated
+   distinct-id count reaches the threshold ``τ = ceil(3/4 · p · c)``
+   declares its parent edge *overcongested* and stops forwarding. This is
+   the sampling idea of [HIZ16a, HHW18] applied to the paper's exact
+   marking process; Chernoff bounds give ``|I_e| ≥ c ⇒ marked`` and
+   ``marked ⇒ |I_e| ≥ c/2`` whp, so all Theorem 3.1 guarantees hold with
+   constant-factor slack. Rounds: ``depth · (τ + 1) = O(D log n)``.
+   With ``exact=True`` the sample rate is 1 and ``τ = c`` — the
+   deterministic variant (rounds ``O(c·D) = O(δD²)``), used to
+   cross-validate the sampled marking against the centralized one.
+4. **verify** — all parts aggregate through their candidate shortcuts
+   (random-delay scheduling, measured): this is how parts learn their
+   aggregate actually works and is the dominant ``O~(δD)`` term.
+
+Total measured rounds: ``O(D log n + δD log n) = O~(δD)`` — experiment E5.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.congest.network import SyncNetwork
+from repro.congest.node import NodeAlgorithm
+from repro.congest.primitives.bfs import distributed_bfs
+from repro.congest.primitives.broadcast import tree_aggregate, tree_broadcast
+from repro.congest.stats import RoundStats
+from repro.core.partial import ancestor_subgraphs, conflict_from_marking, steiner_prune
+from repro.core.shortcut import TreeRestrictedShortcut
+from repro.graphs.partition import Partition
+from repro.graphs.trees import RootedTree
+from repro.util.errors import ShortcutError
+from repro.util.rng import ensure_rng, part_sample_hash
+
+__all__ = ["DistributedShortcutResult", "distributed_partial_shortcut", "SweepNode"]
+
+_ID_TAG = 0
+
+
+class SweepNode(NodeAlgorithm):
+    """One node of the level-synchronized sampled upward sweep.
+
+    Node at depth ``ℓ`` owns the window of rounds
+    ``[(depth_max - ℓ)·(τ+1) + 1, (depth_max - ℓ + 1)·(τ+1)]``. All of its
+    children's forwards arrive by the window's first round (they sent during
+    the previous window), so the node's marking decision at that round is
+    based on its final accumulated id set — mirroring the exact bottom-up
+    process.
+    """
+
+    def __init__(
+        self,
+        node: int,
+        part_id: int | None,
+        parent: int | None,
+        depth: int,
+        depth_max: int,
+        tau: int,
+        probability: float,
+        seed: int,
+    ):
+        self.node = node
+        self.parent = parent
+        self.tau = tau
+        window = tau + 1
+        self.decision_round = (depth_max - depth) * window + 1
+        self.last_round = depth_max * window + 1
+        self.ids: set[int] = set()
+        if part_id is not None and part_sample_hash(part_id, seed, probability):
+            self.ids.add(part_id)
+        self.marked = False
+        self.send_queue: list[int] = []
+        self.decided = False
+
+    def on_start(self, ctx):
+        # The sweep is timer-driven: stay alive through the whole schedule
+        # even while silent, so quiescence detection does not cut it short.
+        ctx.keep_alive()
+        return {}
+
+    def on_round(self, ctx, inbox):
+        for payload in inbox.values():
+            if payload[0] == _ID_TAG:
+                self.ids.add(payload[1])
+        outbox: dict[int, object] = {}
+        if self.parent is not None:
+            if ctx.round == self.decision_round and not self.decided:
+                self.decided = True
+                if len(self.ids) >= self.tau:
+                    self.marked = True
+                else:
+                    self.send_queue = sorted(self.ids)
+            if self.decided and not self.marked and self.send_queue:
+                outbox[self.parent] = (_ID_TAG, self.send_queue.pop())
+        if ctx.round < self.last_round:
+            ctx.keep_alive()
+        return outbox
+
+    def result(self):
+        return {"marked": self.marked, "ids_seen": len(self.ids)}
+
+
+@dataclass
+class DistributedShortcutResult:
+    """Output of the distributed construction.
+
+    Mirrors :class:`repro.core.partial.PartialShortcutResult` but with the
+    sampled marking and with measured :class:`RoundStats` per phase.
+    """
+
+    graph: nx.Graph
+    tree: RootedTree
+    partition: Partition
+    delta: float
+    congestion_budget: int
+    block_budget: int
+    marked: frozenset[int]
+    satisfied: tuple[int, ...]
+    subgraphs: dict[int, frozenset[int]]
+    stats: RoundStats
+    params: dict = field(default_factory=dict)
+
+    @property
+    def succeeded(self) -> bool:
+        """At least half of the parts got a shortcut."""
+        return 2 * len(self.satisfied) >= len(self.partition)
+
+    def shortcut(self) -> TreeRestrictedShortcut:
+        """The partial shortcut over the satisfied parts.
+
+        Raises:
+            ShortcutError: if no part is satisfied.
+        """
+        if not self.satisfied:
+            raise ShortcutError("no satisfied parts; no partial shortcut to extract")
+        sub = self.partition.restrict(self.graph, self.satisfied)
+        return TreeRestrictedShortcut(
+            self.graph,
+            sub,
+            self.tree,
+            [self.subgraphs[i] for i in self.satisfied],
+            validate=False,
+        )
+
+
+def distributed_partial_shortcut(
+    graph: nx.Graph,
+    partition: Partition,
+    delta: float,
+    root: int | None = None,
+    rng: int | random.Random | None = None,
+    sampling_factor: float = 6.0,
+    exact: bool = False,
+    run_verification: bool = True,
+    elect_root: bool = False,
+) -> DistributedShortcutResult:
+    """Run the full Theorem 1.5 pipeline; all round counts are measured.
+
+    Args:
+        graph: connected host graph.
+        partition: the parts (every node knows only its own part id).
+        delta: the minor-density parameter fixing the budgets
+            ``c = 8δD`` and block budget ``8δ``.
+        root: BFS root (defaults to the smallest node id).
+        rng: seed or generator (drives the shared sampling seed and the
+            verification delays).
+        sampling_factor: the ``Θ(log n)`` multiplier in the sample rate.
+        exact: disable sampling (deterministic variant, ``O(δD²)`` rounds).
+        run_verification: include phase 4 (dominant cost; disable only for
+            sweep-only microbenchmarks).
+        elect_root: run a real distributed leader election for the root
+            instead of assuming one (adds a measured ``O(D)``-round phase).
+
+    Raises:
+        ShortcutError: if ``delta <= 0``, or if both ``root`` and
+            ``elect_root`` are given.
+    """
+    if delta <= 0:
+        raise ShortcutError(f"delta must be positive, got {delta}")
+    rng = ensure_rng(rng)
+    stats = RoundStats()
+    if elect_root:
+        if root is not None:
+            raise ShortcutError("pass either root or elect_root, not both")
+        from repro.congest.primitives.election import elect_leader
+
+        root, election_stats = elect_leader(graph, rng=rng)
+        stats.add_phase("election", election_stats)
+    elif root is None:
+        root = min(graph.nodes())
+
+    # Phase 1: BFS tree.
+    tree, bfs_stats = distributed_bfs(graph, root, rng=rng)
+    stats.add_phase("bfs", bfs_stats)
+
+    # Phase 2: depth convergecast + parameter broadcast.
+    depth_values = {v: tree.depth_of(v) for v in graph.nodes()}
+    depth_max, up_stats = tree_aggregate(graph, tree, depth_values, max, rng=rng)
+    depth_max = max(depth_max, 1)
+    n = graph.number_of_nodes()
+    congestion_budget = math.ceil(8 * delta * depth_max)
+    block_budget = math.ceil(8 * delta)
+    # 16-bit shared seed: enough hash diversity, and a bare int fits the
+    # O(log n) message budget even on tiny graphs.
+    seed = rng.randrange(2**16)
+    if exact:
+        probability = 1.0
+        tau = congestion_budget
+    else:
+        probability = min(1.0, sampling_factor * math.log2(max(n, 2)) / congestion_budget)
+        if probability >= 1.0:
+            tau = congestion_budget
+        else:
+            tau = max(1, math.ceil(0.75 * probability * congestion_budget))
+    # Three scalar broadcasts keep each message within the bit budget.
+    meta_stats = up_stats
+    for scalar in (seed, congestion_budget, tau):
+        _, down_stats = tree_broadcast(graph, tree, scalar, rng=rng)
+        meta_stats = meta_stats + down_stats
+    stats.add_phase("meta", meta_stats)
+
+    # Phase 3: the sampled upward sweep.
+    network = SyncNetwork(graph, rng=rng)
+    algorithms = {
+        v: SweepNode(
+            node=v,
+            part_id=partition.part_index_of(v),
+            parent=tree.parent_of(v),
+            depth=tree.depth_of(v),
+            depth_max=depth_max,
+            tau=tau,
+            probability=probability,
+            seed=seed,
+        )
+        for v in graph.nodes()
+    }
+    sweep_results, sweep_stats = network.run(algorithms)
+    stats.add_phase("sweep", sweep_stats)
+    marked = frozenset(v for v, r in sweep_results.items() if r["marked"])
+
+    # Interpret the marking exactly as the centralized construction would.
+    conflict = conflict_from_marking(tree, partition, marked)
+    satisfied = tuple(
+        sorted(
+            i
+            for i, degree in conflict.part_degrees.items()
+            if degree <= block_budget
+        )
+    )
+    subgraphs = ancestor_subgraphs(tree, partition, marked, satisfied)
+    subgraphs = {
+        index: steiner_prune(tree, partition[index], edges)
+        for index, edges in subgraphs.items()
+    }
+
+    result = DistributedShortcutResult(
+        graph=graph,
+        tree=tree,
+        partition=partition,
+        delta=delta,
+        congestion_budget=congestion_budget,
+        block_budget=block_budget,
+        marked=marked,
+        satisfied=satisfied,
+        subgraphs=subgraphs,
+        stats=stats,
+        params={
+            "probability": probability,
+            "tau": tau,
+            "seed": seed,
+            "depth_max": depth_max,
+            "exact": exact,
+        },
+    )
+
+    # Phase 4: parts verify their shortcut by aggregating through it.
+    if run_verification and satisfied:
+        from repro.sched.partwise import partwise_aggregate
+
+        shortcut = result.shortcut()
+        sub_partition = shortcut.partition
+        verification = partwise_aggregate(
+            graph,
+            sub_partition,
+            shortcut,
+            {v: 1 for v in graph.nodes()},
+            lambda a, b: a + b,
+            rng=rng,
+        )
+        stats.add_phase("verify", verification.stats)
+    return result

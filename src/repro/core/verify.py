@@ -1,0 +1,183 @@
+"""Structured verification of shortcut objects against the paper's bounds.
+
+Tests and benchmarks assert individual inequalities; this module packages
+the *complete* Theorem 3.1 / Theorem 1.2 / Observation 2.6 compliance check
+into one call producing a machine-readable report — the piece a downstream
+user runs when they suspect a shortcut (or a third-party construction) of
+violating its advertised guarantees.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.bounds import (
+    observation26_dilation_bound,
+    theorem12_congestion_bound,
+    theorem12_dilation_bound,
+)
+from repro.core.full import FullShortcutResult
+from repro.core.partial import PartialShortcutResult
+from repro.core.shortcut import TreeRestrictedShortcut
+
+__all__ = ["BoundCheck", "VerificationReport", "verify_partial_result", "verify_full_result"]
+
+
+@dataclass(frozen=True)
+class BoundCheck:
+    """One measured-vs-bound comparison.
+
+    Attributes:
+        name: which claim this checks (e.g. ``"theorem31.congestion"``).
+        measured: the measured quantity.
+        bound: the claimed bound.
+        holds: whether ``measured <= bound``.
+    """
+
+    name: str
+    measured: float
+    bound: float
+
+    @property
+    def holds(self) -> bool:
+        return self.measured <= self.bound
+
+    def __str__(self) -> str:
+        status = "ok" if self.holds else "VIOLATED"
+        return f"{self.name}: {self.measured} <= {self.bound} [{status}]"
+
+
+@dataclass
+class VerificationReport:
+    """All bound checks for one shortcut, plus an overall verdict."""
+
+    checks: list[BoundCheck] = field(default_factory=list)
+
+    @property
+    def all_hold(self) -> bool:
+        """True iff every check passed."""
+        return all(check.holds for check in self.checks)
+
+    def violations(self) -> list[BoundCheck]:
+        """The failed checks (empty for a compliant shortcut)."""
+        return [check for check in self.checks if not check.holds]
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [str(check) for check in self.checks]
+        verdict = "ALL BOUNDS HOLD" if self.all_hold else (
+            f"{len(self.violations())} VIOLATION(S)"
+        )
+        lines.append(f"=> {verdict}")
+        return "\n".join(lines)
+
+
+def verify_partial_result(
+    result: PartialShortcutResult,
+    exact_dilation: bool = True,
+) -> VerificationReport:
+    """Check a Theorem 3.1 run against every guarantee of the theorem.
+
+    Checks (on the satisfied parts):
+      * congestion < c (strictly; the marking rule guarantees ≤ c - 1);
+      * per-part block number ≤ block budget + 1;
+      * measured dilation ≤ Observation 2.6's b(2D+1);
+      * case I: at least half the parts satisfied (recorded as a check with
+        bound k/2 on the number of *unsatisfied* parts).
+    """
+    report = VerificationReport()
+    k = len(result.partition)
+    report.checks.append(
+        BoundCheck(
+            "theorem31.case_one_unsatisfied",
+            measured=k - len(result.satisfied),
+            bound=k / 2,
+        )
+    )
+    if not result.satisfied:
+        return report
+    shortcut = result.shortcut()
+    report.checks.append(
+        BoundCheck(
+            "theorem31.congestion",
+            measured=shortcut.congestion(),
+            bound=result.congestion_budget - 1,
+        )
+    )
+    worst_blocks = max(
+        shortcut.part_block_number(i) for i in range(len(result.satisfied))
+    )
+    report.checks.append(
+        BoundCheck(
+            "theorem31.blocks",
+            measured=worst_blocks,
+            bound=result.block_budget + 1,
+        )
+    )
+    depth = result.tree.max_depth
+    report.checks.append(
+        BoundCheck(
+            "observation26.dilation",
+            measured=shortcut.dilation(exact=exact_dilation),
+            bound=observation26_dilation_bound(worst_blocks, depth),
+        )
+    )
+    return report
+
+
+def verify_full_result(
+    result: FullShortcutResult,
+    delta: float,
+    exact_dilation: bool = True,
+) -> VerificationReport:
+    """Check an Observation 2.7 / Theorem 1.2 run against its guarantees.
+
+    Checks:
+      * iteration count ≤ ⌈log₂ k⌉ + 1 (only meaningful when the run never
+        escalated; escalation resets the potential argument);
+      * congestion ≤ the sum of per-iteration budgets and ≤ the closed-form
+        Theorem 1.2 bound at ``delta_used``;
+      * dilation ≤ Theorem 1.2's 8δ(2D+1);
+      * every part has finite dilation (the shortcut actually works).
+    """
+    report = VerificationReport()
+    shortcut: TreeRestrictedShortcut = result.shortcut
+    k = len(shortcut.partition)
+    depth = shortcut.tree.max_depth
+    escalated = result.delta_used != delta
+    if not escalated:
+        report.checks.append(
+            BoundCheck(
+                "observation27.iterations",
+                measured=result.iterations,
+                bound=math.ceil(math.log2(max(k, 2))) + 1,
+            )
+        )
+    congestion = shortcut.congestion()
+    report.checks.append(
+        BoundCheck(
+            "observation27.congestion_vs_budget_sum",
+            measured=congestion,
+            bound=result.congestion_bound,
+        )
+    )
+    report.checks.append(
+        BoundCheck(
+            "theorem12.congestion",
+            measured=congestion,
+            bound=theorem12_congestion_bound(result.delta_used, depth, k),
+        )
+    )
+    dilation = shortcut.dilation(exact=exact_dilation)
+    report.checks.append(
+        BoundCheck(
+            "theorem12.dilation",
+            measured=dilation,
+            bound=theorem12_dilation_bound(result.delta_used, depth),
+        )
+    )
+    report.checks.append(
+        BoundCheck("shortcut.connected", measured=0 if dilation < float("inf") else 1, bound=0)
+    )
+    return report

@@ -1,0 +1,93 @@
+"""Graph normalization and small structural helpers.
+
+The rest of the library assumes simple undirected graphs with integer node
+labels ``0..n-1``. :func:`normalize_graph` converts arbitrary networkx graphs
+into that form; the remaining helpers provide the handful of checks used on
+nearly every code path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import networkx as nx
+
+from repro.util.errors import GraphStructureError
+
+__all__ = [
+    "normalize_graph",
+    "canonical_edge",
+    "require_connected",
+    "require_nodes_exist",
+    "induces_connected_subgraph",
+]
+
+
+def normalize_graph(graph: nx.Graph) -> nx.Graph:
+    """Return a copy of ``graph`` with nodes relabeled to ``0..n-1``.
+
+    Node order follows the sorted order of the original labels when they are
+    sortable, and insertion order otherwise. Graph-level attributes are
+    preserved; self-loops are rejected because the CONGEST model and the
+    shortcut definitions assume simple graphs.
+
+    Raises:
+        GraphStructureError: if the graph is directed or has self-loops.
+    """
+    if graph.is_directed():
+        raise GraphStructureError("expected an undirected graph")
+    if any(u == v for u, v in graph.edges()):
+        raise GraphStructureError("self-loops are not supported")
+    try:
+        ordered = sorted(graph.nodes())
+    except TypeError:
+        ordered = list(graph.nodes())
+    mapping = {node: index for index, node in enumerate(ordered)}
+    relabeled = nx.relabel_nodes(graph, mapping, copy=True)
+    relabeled = nx.Graph(relabeled)
+    relabeled.graph.update(graph.graph)
+    return relabeled
+
+
+def canonical_edge(u: int, v: int) -> tuple[int, int]:
+    """Canonical (sorted) representation of the undirected edge ``{u, v}``."""
+    return (u, v) if u <= v else (v, u)
+
+
+def require_connected(graph: nx.Graph, what: str = "graph") -> None:
+    """Raise :class:`GraphStructureError` unless ``graph`` is connected."""
+    if graph.number_of_nodes() == 0:
+        raise GraphStructureError(f"{what} is empty")
+    if not nx.is_connected(graph):
+        raise GraphStructureError(f"{what} must be connected")
+
+
+def require_nodes_exist(graph: nx.Graph, nodes: Iterable[int], what: str = "node set") -> None:
+    """Raise :class:`GraphStructureError` if any node is missing from the graph."""
+    missing = [node for node in nodes if node not in graph]
+    if missing:
+        raise GraphStructureError(f"{what} references nodes not in the graph: {missing[:5]}")
+
+
+def induces_connected_subgraph(graph: nx.Graph, nodes: Iterable[int]) -> bool:
+    """True iff ``nodes`` is nonempty and ``graph[nodes]`` is connected.
+
+    Runs a BFS restricted to ``nodes`` instead of materializing the induced
+    subgraph, which matters when this is called once per part on large
+    partitions.
+    """
+    node_set = set(nodes)
+    if not node_set:
+        return False
+    start = next(iter(node_set))
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        next_frontier = []
+        for u in frontier:
+            for w in graph.neighbors(u):
+                if w in node_set and w not in seen:
+                    seen.add(w)
+                    next_frontier.append(w)
+        frontier = next_frontier
+    return len(seen) == len(node_set)

@@ -1,0 +1,56 @@
+"""Graph family generators with analytic minor-density metadata.
+
+Every generator returns a simple connected :class:`networkx.Graph` with
+integer labels ``0..n-1`` and records, in ``graph.graph``:
+
+* ``family`` — the family name,
+* ``delta_upper`` — a provable upper bound on the minor density δ(G)
+  (``None`` when no analytic bound applies),
+* family-specific parameters (``width``, ``genus``, ``treewidth``, …).
+
+The analytic δ bounds are what the theorem-checking experiments plug into
+Theorem 3.1's ``8δD`` formulas — using an upper bound is always sound (the
+guarantee must hold a fortiori).
+"""
+
+from repro.graphs.generators.classic import (
+    cycle_graph,
+    path_graph,
+    random_regular_expander,
+    wheel_graph,
+)
+from repro.graphs.generators.genus import planar_with_handles, torus_grid
+from repro.graphs.generators.lowerbound import (
+    LowerBoundInstance,
+    lower_bound_graph,
+)
+from repro.graphs.generators.minorfree import (
+    expanded_clique,
+    outerplanar_graph,
+    series_parallel_graph,
+)
+from repro.graphs.generators.planar import (
+    delaunay_graph,
+    grid_graph,
+    grid_with_diagonals,
+)
+from repro.graphs.generators.treewidth import k_tree, partial_k_tree
+
+__all__ = [
+    "cycle_graph",
+    "path_graph",
+    "wheel_graph",
+    "random_regular_expander",
+    "planar_with_handles",
+    "torus_grid",
+    "LowerBoundInstance",
+    "lower_bound_graph",
+    "expanded_clique",
+    "outerplanar_graph",
+    "series_parallel_graph",
+    "delaunay_graph",
+    "grid_graph",
+    "grid_with_diagonals",
+    "k_tree",
+    "partial_k_tree",
+]

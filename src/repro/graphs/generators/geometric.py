@@ -1,0 +1,176 @@
+"""Additional workload families: geometric, hierarchical, and dense graphs.
+
+These widen the experiment workloads beyond grids and k-trees:
+
+* :func:`random_geometric_graph` — unit-disk graphs, the standard wireless
+  topology model; minor density grows with the connection radius, so the
+  adaptive (doubling-δ) constructions get exercised on graphs with no
+  analytic bound.
+* :func:`caterpillar_tree` / :func:`spider_tree` — trees with extreme
+  diameter/width mixes (δ < 1), boundary cases for the marking process.
+* :func:`barbell_graph` — two dense communities joined by a long path:
+  high local density, huge diameter, a stress case for tree-restriction.
+* :func:`hypercube_graph` — log-diameter, δ = Θ(2^d / d)-ish density
+  growth; the "well-connected" end of the spectrum where shortcuts are
+  easy but minors are dense.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import numpy as np
+
+from repro.util.errors import GraphStructureError
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "random_geometric_graph",
+    "caterpillar_tree",
+    "spider_tree",
+    "barbell_graph",
+    "hypercube_graph",
+]
+
+
+def random_geometric_graph(
+    n: int,
+    radius: float,
+    rng: int | random.Random | None = None,
+    max_tries: int = 50,
+) -> nx.Graph:
+    """Unit-square random geometric graph, resampled until connected.
+
+    Uses a KD-tree for the neighbor queries so moderate ``n`` stays fast.
+
+    Raises:
+        GraphStructureError: if no connected sample is found within
+            ``max_tries`` (radius too small for ``n``).
+    """
+    from scipy.spatial import cKDTree  # deferred: scipy import is slow
+
+    if n < 2:
+        raise GraphStructureError("geometric graph needs at least 2 nodes")
+    if radius <= 0:
+        raise GraphStructureError("radius must be positive")
+    rng = ensure_rng(rng)
+    for _ in range(max_tries):
+        seed = rng.randrange(2**31)
+        points = np.random.default_rng(seed).random((n, 2))
+        tree = cKDTree(points)
+        pairs = tree.query_pairs(radius)
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n))
+        graph.add_edges_from((int(a), int(b)) for a, b in pairs)
+        if nx.is_connected(graph):
+            graph.graph.update(family="geometric", radius=radius)
+            return graph
+    raise GraphStructureError(
+        f"no connected geometric graph with n={n}, radius={radius} in {max_tries} tries"
+    )
+
+
+def caterpillar_tree(spine: int, legs_per_node: int) -> nx.Graph:
+    """A path of ``spine`` nodes, each carrying ``legs_per_node`` leaves.
+
+    Trees have δ(G) < 1; the caterpillar maximizes the leaf count at a given
+    diameter — a boundary case where every shortcut is trivially 1-block.
+
+    Raises:
+        GraphStructureError: if ``spine < 1`` or ``legs_per_node < 0``.
+    """
+    if spine < 1 or legs_per_node < 0:
+        raise GraphStructureError("need spine >= 1 and legs_per_node >= 0")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(spine))
+    for i in range(spine - 1):
+        graph.add_edge(i, i + 1)
+    next_node = spine
+    for i in range(spine):
+        for _ in range(legs_per_node):
+            graph.add_edge(i, next_node)
+            next_node += 1
+    graph.graph.update(family="caterpillar", delta_upper=1.0, planar=True)
+    return graph
+
+
+def spider_tree(legs: int, leg_length: int) -> nx.Graph:
+    """``legs`` paths of ``leg_length`` nodes joined at a hub (node 0).
+
+    Diameter ``2·leg_length``; the hub is the only junction, so every BFS
+    tree is the graph itself — useful for exercising part collections that
+    straddle the hub.
+    """
+    if legs < 1 or leg_length < 1:
+        raise GraphStructureError("need legs >= 1 and leg_length >= 1")
+    graph = nx.Graph()
+    graph.add_node(0)
+    next_node = 1
+    for _ in range(legs):
+        previous = 0
+        for _ in range(leg_length):
+            graph.add_edge(previous, next_node)
+            previous = next_node
+            next_node += 1
+    graph.graph.update(family="spider", delta_upper=1.0, planar=True)
+    return graph
+
+
+def barbell_graph(clique_size: int, path_length: int) -> nx.Graph:
+    """Two ``K_r`` communities joined by a path of ``path_length`` nodes.
+
+    δ(G) = (r-1)/2 (the cliques), diameter ≈ ``path_length`` — density and
+    diameter decoupled, the stress case for the 8δD congestion budget.
+
+    Raises:
+        GraphStructureError: if ``clique_size < 2`` or ``path_length < 1``.
+    """
+    if clique_size < 2 or path_length < 1:
+        raise GraphStructureError("need clique_size >= 2 and path_length >= 1")
+    graph = nx.Graph()
+    left = list(range(clique_size))
+    right = list(range(clique_size, 2 * clique_size))
+    for group in (left, right):
+        for i, a in enumerate(group):
+            for b in group[i + 1 :]:
+                graph.add_edge(a, b)
+    previous = left[-1]
+    next_node = 2 * clique_size
+    for _ in range(path_length):
+        graph.add_edge(previous, next_node)
+        previous = next_node
+        next_node += 1
+    graph.add_edge(previous, right[0])
+    graph.graph.update(
+        family="barbell",
+        clique_size=clique_size,
+        delta_exact=(clique_size - 1) / 2.0,
+        delta_upper=(clique_size - 1) / 2.0,
+    )
+    return graph
+
+
+def hypercube_graph(dimension: int) -> nx.Graph:
+    """The ``dimension``-dimensional hypercube (n = 2^d, diameter d).
+
+    No analytic ``delta_upper`` is recorded: hypercubes contain clique
+    minors of order ``Θ(2^{d/2})``, so they sit firmly in the
+    "well-connected" regime where Theorem 1.2's bound is loose and the
+    certifying construction finds dense minors quickly.
+
+    Raises:
+        GraphStructureError: if ``dimension < 1``.
+    """
+    if dimension < 1:
+        raise GraphStructureError("dimension must be at least 1")
+    n = 1 << dimension
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for node in range(n):
+        for bit in range(dimension):
+            neighbor = node ^ (1 << bit)
+            if neighbor > node:
+                graph.add_edge(node, neighbor)
+    graph.graph.update(family="hypercube", dimension=dimension)
+    return graph

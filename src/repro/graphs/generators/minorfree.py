@@ -1,0 +1,120 @@
+"""Families with exactly-known or tightly-bounded minor density.
+
+* :func:`expanded_clique` — δ(G) = (r - 1)/2 exactly: ``K_r`` with each
+  vertex blown up into a path. Contracting the paths recovers ``K_r``
+  (lower bound); every minor is a minor of ``K_r`` with paths substituted,
+  whose densest minor is ``K_r`` itself (upper bound). This family drives
+  the δ-axis of the scaling experiments.
+* :func:`outerplanar_graph`, :func:`series_parallel_graph` — δ <= 2
+  (K_4-minor-free classes), the sparsest nontrivial families.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+
+from repro.util.errors import GraphStructureError
+from repro.util.rng import ensure_rng
+
+__all__ = ["expanded_clique", "outerplanar_graph", "series_parallel_graph"]
+
+
+def expanded_clique(r: int, segment_length: int) -> nx.Graph:
+    """``K_r`` with every vertex expanded into a path of ``segment_length`` nodes.
+
+    Vertex ``i`` of ``K_r`` becomes the path ``i*L .. i*L + L - 1`` (with
+    ``L = segment_length``). The clique edge ``{i, j}`` is realized between
+    "port" nodes spread along the two paths so that no single path node
+    collects all ``r - 1`` clique edges. Diameter is ``Θ(segment_length)``;
+    minor density is exactly ``(r - 1)/2``.
+
+    Raises:
+        GraphStructureError: if ``r < 2`` or ``segment_length < 1``.
+    """
+    if r < 2:
+        raise GraphStructureError("expanded clique needs r >= 2")
+    if segment_length < 1:
+        raise GraphStructureError("segment_length must be positive")
+    graph = nx.Graph()
+    n = r * segment_length
+    graph.add_nodes_from(range(n))
+    for i in range(r):
+        base = i * segment_length
+        for offset in range(segment_length - 1):
+            graph.add_edge(base + offset, base + offset + 1)
+    for i in range(r):
+        for j in range(i + 1, r):
+            # Spread the ports: edge {i, j} leaves path i at slot j-ish and
+            # path j at slot i-ish, modulo the path length.
+            port_i = i * segment_length + (j % segment_length)
+            port_j = j * segment_length + (i % segment_length)
+            graph.add_edge(port_i, port_j)
+    graph.graph.update(
+        family="expanded_clique",
+        clique_size=r,
+        segment_length=segment_length,
+        delta_upper=(r - 1) / 2.0,
+        delta_exact=(r - 1) / 2.0,
+    )
+    return graph
+
+
+def outerplanar_graph(n: int, rng: int | random.Random | None = None) -> nx.Graph:
+    """A maximal outerplanar graph: a cycle plus a random triangulation.
+
+    Outerplanar graphs are K_4-minor-free; δ(G) <= 2.
+
+    Raises:
+        GraphStructureError: if ``n < 3``.
+    """
+    if n < 3:
+        raise GraphStructureError("outerplanar graph needs at least 3 nodes")
+    rng = ensure_rng(rng)
+    graph = nx.cycle_graph(n)
+    # Random fan triangulation: recursively split polygon ranges.
+    stack = [(0, n - 1)]
+    while stack:
+        lo, hi = stack.pop()
+        if hi - lo < 2:
+            continue
+        mid = rng.randrange(lo + 1, hi)
+        if not graph.has_edge(lo, hi):
+            graph.add_edge(lo, hi)
+        stack.append((lo, mid))
+        stack.append((mid, hi))
+    graph.graph.update(family="outerplanar", delta_upper=2.0, planar=True)
+    return graph
+
+
+def series_parallel_graph(n: int, rng: int | random.Random | None = None) -> nx.Graph:
+    """A random series-parallel (K_4-minor-free) graph on ``n`` nodes.
+
+    Built by repeatedly subdividing (series) or doubling-and-subdividing
+    (parallel) random edges of a seed triangle-free two-terminal network.
+    δ(G) <= 2.
+
+    Raises:
+        GraphStructureError: if ``n < 2``.
+    """
+    if n < 2:
+        raise GraphStructureError("series-parallel graph needs at least 2 nodes")
+    rng = ensure_rng(rng)
+    graph = nx.Graph()
+    graph.add_edge(0, 1)
+    next_node = 2
+    while next_node < n:
+        u, v = rng.choice(list(graph.edges()))
+        if rng.random() < 0.5:
+            # Series: subdivide the edge.
+            graph.remove_edge(u, v)
+            graph.add_edge(u, next_node)
+            graph.add_edge(next_node, v)
+        else:
+            # Parallel: add a new two-edge path alongside the edge.
+            graph.add_edge(u, next_node)
+            graph.add_edge(next_node, v)
+        next_node += 1
+    graph.graph.update(family="series_parallel", delta_upper=2.0, planar=True)
+    return graph

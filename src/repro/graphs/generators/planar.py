@@ -1,0 +1,114 @@
+"""Planar graph families.
+
+Planar graphs satisfy δ(G) < 3 (every minor of a planar graph is planar and
+an s-node planar graph has at most 3s - 6 edges), so they are the δ = O(1)
+baseline family of the paper — the setting of [GH16b] that Theorem 3.1
+subsumes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import numpy as np
+
+from repro.util.errors import GraphStructureError
+from repro.util.rng import ensure_rng
+
+__all__ = ["grid_graph", "grid_with_diagonals", "delaunay_graph"]
+
+# Planar graphs: |E| <= 3|V| - 6, and minors of planar graphs are planar,
+# hence delta(G) < 3 for every planar G.
+_PLANAR_DELTA_UPPER = 3.0
+
+
+def grid_graph(width: int, height: int) -> nx.Graph:
+    """The ``width x height`` grid. Node ``(row, col)`` is ``row*width + col``.
+
+    Diameter is ``width + height - 2``; choosing an elongated rectangle
+    fixes the diameter independently of ``n``, which the scaling experiments
+    rely on.
+
+    Raises:
+        GraphStructureError: if either dimension is < 1.
+    """
+    if width < 1 or height < 1:
+        raise GraphStructureError("grid dimensions must be positive")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(width * height))
+    for row in range(height):
+        for col in range(width):
+            node = row * width + col
+            if col + 1 < width:
+                graph.add_edge(node, node + 1)
+            if row + 1 < height:
+                graph.add_edge(node, node + width)
+    graph.graph.update(
+        family="grid",
+        width=width,
+        height=height,
+        delta_upper=_PLANAR_DELTA_UPPER,
+        planar=True,
+    )
+    return graph
+
+
+def grid_with_diagonals(
+    width: int,
+    height: int,
+    diagonal_probability: float = 0.5,
+    rng: int | random.Random | None = None,
+) -> nx.Graph:
+    """Grid with one random diagonal added inside each face, independently.
+
+    Adding a single diagonal per (quadrilateral) face keeps the graph planar
+    while breaking the grid's symmetry; useful as a denser planar workload.
+    """
+    if not 0.0 <= diagonal_probability <= 1.0:
+        raise GraphStructureError("diagonal_probability must be in [0, 1]")
+    rng = ensure_rng(rng)
+    graph = grid_graph(width, height)
+    for row in range(height - 1):
+        for col in range(width - 1):
+            if rng.random() >= diagonal_probability:
+                continue
+            top_left = row * width + col
+            if rng.random() < 0.5:
+                graph.add_edge(top_left, top_left + width + 1)
+            else:
+                graph.add_edge(top_left + 1, top_left + width)
+    graph.graph.update(family="grid_diagonals", diagonal_probability=diagonal_probability)
+    return graph
+
+
+def delaunay_graph(n: int, rng: int | random.Random | None = None) -> nx.Graph:
+    """Delaunay triangulation of ``n`` uniform random points in the unit square.
+
+    Delaunay triangulations are planar and connected; they give "organic"
+    planar graphs whose BFS trees are irregular, complementing the grids.
+
+    Raises:
+        GraphStructureError: if ``n < 3`` (a triangulation needs 3 points).
+    """
+    from scipy.spatial import Delaunay  # deferred: scipy import is slow
+
+    if n < 3:
+        raise GraphStructureError("Delaunay graph needs at least 3 points")
+    rng = ensure_rng(rng)
+    seed = rng.randrange(2**31)
+    points = np.random.default_rng(seed).random((n, 2))
+    triangulation = Delaunay(points)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for simplex in triangulation.simplices:
+        a, b, c = (int(x) for x in simplex)
+        graph.add_edge(a, b)
+        graph.add_edge(b, c)
+        graph.add_edge(a, c)
+    graph.graph.update(
+        family="delaunay",
+        delta_upper=_PLANAR_DELTA_UPPER,
+        planar=True,
+    )
+    return graph

@@ -1,0 +1,109 @@
+"""Bounded-treewidth graph families (Corollary 3.4 workloads).
+
+Treewidth is minor-monotone and a treewidth-``k`` graph on ``s`` nodes has
+fewer than ``k·s`` edges (Lemma 3.3 of the paper), so δ(G) <= k for every
+graph generated here. k-trees achieve treewidth exactly ``k``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+
+from repro.util.errors import GraphStructureError
+from repro.util.rng import ensure_rng
+
+__all__ = ["k_tree", "partial_k_tree"]
+
+
+def k_tree(
+    n: int,
+    k: int,
+    rng: int | random.Random | None = None,
+    locality: float = 0.0,
+) -> nx.Graph:
+    """A random k-tree on ``n`` nodes.
+
+    Construction: start from ``K_{k+1}``; each new vertex is attached to all
+    vertices of an existing k-clique. ``locality`` in ``[0, 1]`` biases
+    clique choice toward recently created cliques: 0 picks uniformly
+    (yielding small diameter), values near 1 almost always extend the newest
+    clique (yielding path-like, large-diameter k-trees). This knob lets the
+    experiments sweep ``D`` at fixed ``k``.
+
+    Raises:
+        GraphStructureError: if ``n < k + 1`` or ``k < 1``.
+    """
+    if k < 1:
+        raise GraphStructureError("k must be at least 1")
+    if n < k + 1:
+        raise GraphStructureError(f"a {k}-tree needs at least {k + 1} nodes")
+    if not 0.0 <= locality <= 1.0:
+        raise GraphStructureError("locality must be in [0, 1]")
+    rng = ensure_rng(rng)
+    graph = nx.Graph()
+    base = list(range(k + 1))
+    graph.add_nodes_from(base)
+    for i in base:
+        for j in base:
+            if i < j:
+                graph.add_edge(i, j)
+    cliques: list[tuple[int, ...]] = [
+        tuple(sorted(set(base) - {drop})) for drop in base
+    ]
+    for new_node in range(k + 1, n):
+        if rng.random() < locality:
+            # Geometric bias toward the most recently added cliques.
+            span = max(1, len(cliques) // 8)
+            index = len(cliques) - 1 - rng.randrange(span)
+        else:
+            index = rng.randrange(len(cliques))
+        clique = cliques[index]
+        graph.add_node(new_node)
+        for member in clique:
+            graph.add_edge(new_node, member)
+        for drop in clique:
+            cliques.append(tuple(sorted((set(clique) - {drop}) | {new_node})))
+    graph.graph.update(
+        family="k_tree",
+        treewidth=k,
+        delta_upper=float(k),
+        locality=locality,
+    )
+    return graph
+
+
+def partial_k_tree(
+    n: int,
+    k: int,
+    keep_probability: float = 0.7,
+    rng: int | random.Random | None = None,
+    locality: float = 0.0,
+) -> nx.Graph:
+    """A connected random subgraph of a k-tree (treewidth <= k).
+
+    Edges of a fresh k-tree are dropped independently with probability
+    ``1 - keep_probability``, except that drops that would disconnect the
+    graph are skipped, so the result is always connected. Treewidth (and
+    hence minor density) can only decrease under edge deletion.
+    """
+    if not 0.0 < keep_probability <= 1.0:
+        raise GraphStructureError("keep_probability must be in (0, 1]")
+    rng = ensure_rng(rng)
+    graph = k_tree(n, k, rng=rng, locality=locality)
+    edges = list(graph.edges())
+    rng.shuffle(edges)
+    for u, v in edges:
+        if rng.random() < keep_probability:
+            continue
+        graph.remove_edge(u, v)
+        # Cheap local reconnection check: u must still reach v. Restricting
+        # the scan to the component of u keeps this fast on sparse graphs.
+        if not nx.has_path(graph, u, v):
+            graph.add_edge(u, v)
+    graph.graph.update(
+        family="partial_k_tree",
+        keep_probability=keep_probability,
+    )
+    return graph

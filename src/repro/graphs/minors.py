@@ -1,0 +1,386 @@
+"""Graph minors: witnesses, validation, and minor-density estimation.
+
+The paper's central parameter is the *minor density*
+
+    δ(G) = max { |E'| / |V'| : H = (V', E') is a minor of G },
+
+which is NP-hard to compute exactly. This module provides:
+
+* :class:`MinorWitness` — a checkable certificate that some graph ``H`` is a
+  minor of ``G`` (branch sets + realized edges), used both by the certifying
+  shortcut construction (case II of Theorem 3.1) and by the density
+  heuristics;
+* greedy heuristics producing dense-minor and clique-minor witnesses, i.e.
+  *lower bounds* on ``δ(G)`` and on the Hadwiger number ``r(G)``;
+* :func:`analytic_delta_upper` — reads the analytic upper bound that every
+  generator in :mod:`repro.graphs.generators` attaches to its output, since
+  upper bounds cannot be certified efficiently in general.
+
+Together these sandwich δ(G) tightly on the graph families used in the
+experiments (Lemma 1.1 / experiment E10).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.graphs.adjacency import induces_connected_subgraph
+from repro.util.errors import GraphStructureError
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "MinorWitness",
+    "contract_to_minor",
+    "greedy_dense_minor",
+    "greedy_clique_minor",
+    "delta_lower_bound",
+    "analytic_delta_upper",
+    "thomason_upper",
+]
+
+
+@dataclass(frozen=True)
+class MinorWitness:
+    """A certificate that a graph ``H`` is a minor of a host graph ``G``.
+
+    Attributes:
+        branch_sets: mapping from minor-node labels to disjoint node sets of
+            the host graph, each inducing a connected subgraph.
+        minor_edges: set of unordered minor-node pairs; each must be realized
+            by at least one host edge between the two branch sets.
+    """
+
+    branch_sets: dict[object, frozenset[int]]
+    minor_edges: frozenset[frozenset[object]] = field(default_factory=frozenset)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of minor nodes."""
+        return len(self.branch_sets)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of minor edges."""
+        return len(self.minor_edges)
+
+    @property
+    def density(self) -> float:
+        """Edge density ``|E'| / |V'|`` of the minor."""
+        if self.num_nodes == 0:
+            raise GraphStructureError("density of an empty minor is undefined")
+        return self.num_edges / self.num_nodes
+
+    def minor_graph(self) -> nx.Graph:
+        """The minor as an explicit networkx graph."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self.branch_sets.keys())
+        for pair in self.minor_edges:
+            u, v = tuple(pair)
+            graph.add_edge(u, v)
+        return graph
+
+    def validate(self, graph: nx.Graph) -> None:
+        """Check the witness against the host graph.
+
+        Verifies (1) branch sets are nonempty, disjoint, and subsets of the
+        host nodes; (2) each branch set induces a connected subgraph; and
+        (3) every minor edge is realized by some host edge.
+
+        Raises:
+            GraphStructureError: on the first violation found.
+        """
+        seen: set[int] = set()
+        for label, nodes in self.branch_sets.items():
+            if not nodes:
+                raise GraphStructureError(f"branch set {label!r} is empty")
+            overlap = seen & nodes
+            if overlap:
+                raise GraphStructureError(
+                    f"branch set {label!r} overlaps earlier sets at {sorted(overlap)[:5]}"
+                )
+            missing = [n for n in nodes if n not in graph]
+            if missing:
+                raise GraphStructureError(
+                    f"branch set {label!r} references missing nodes {missing[:5]}"
+                )
+            if not induces_connected_subgraph(graph, nodes):
+                raise GraphStructureError(f"branch set {label!r} is not connected")
+            seen |= nodes
+        membership = {
+            node: label for label, nodes in self.branch_sets.items() for node in nodes
+        }
+        realized: set[frozenset[object]] = set()
+        for u, v in graph.edges():
+            lu, lv = membership.get(u), membership.get(v)
+            if lu is not None and lv is not None and lu != lv:
+                realized.add(frozenset((lu, lv)))
+        unrealized = self.minor_edges - realized
+        if unrealized:
+            raise GraphStructureError(
+                f"{len(unrealized)} minor edges are not realized by host edges"
+            )
+
+
+def contract_to_minor(graph: nx.Graph, branch_sets: dict[object, frozenset[int]]) -> MinorWitness:
+    """Build the *maximal* minor witness over the given branch sets.
+
+    The minor edges are every pair of branch sets joined by at least one
+    host edge; nodes outside all branch sets are treated as deleted.
+    """
+    membership = {node: label for label, nodes in branch_sets.items() for node in nodes}
+    edges: set[frozenset[object]] = set()
+    for u, v in graph.edges():
+        lu, lv = membership.get(u), membership.get(v)
+        if lu is not None and lv is not None and lu != lv:
+            edges.add(frozenset((lu, lv)))
+    return MinorWitness(branch_sets=dict(branch_sets), minor_edges=frozenset(edges))
+
+
+# ----------------------------------------------------------------------
+# Heuristic lower bounds
+# ----------------------------------------------------------------------
+
+
+class _ContractionState:
+    """Union-find over host nodes plus the contracted simple graph.
+
+    Supports contracting a host edge in near-constant amortized time while
+    maintaining the simple (de-duplicated) adjacency of the contracted
+    graph, so the density of the current minor is always available.
+    """
+
+    def __init__(self, graph: nx.Graph):
+        self.parent = {node: node for node in graph.nodes()}
+        self.members: dict[int, set[int]] = {node: {node} for node in graph.nodes()}
+        self.adjacency: dict[int, set[int]] = {
+            node: set(graph.neighbors(node)) for node in graph.nodes()
+        }
+        self.num_nodes = graph.number_of_nodes()
+        self.num_edges = graph.number_of_edges()
+
+    def find(self, node: int) -> int:
+        root = node
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[node] != root:
+            self.parent[node], node = root, self.parent[node]
+        return root
+
+    def density(self) -> float:
+        return self.num_edges / self.num_nodes if self.num_nodes else 0.0
+
+    def contract(self, u: int, v: int) -> int:
+        """Contract the super-nodes containing ``u`` and ``v``; return the survivor."""
+        ru, rv = self.find(u), self.find(v)
+        if ru == rv:
+            return ru
+        # Merge the smaller adjacency into the larger one (small-to-large).
+        if len(self.adjacency[ru]) < len(self.adjacency[rv]):
+            ru, rv = rv, ru
+        adj_u, adj_v = self.adjacency[ru], self.adjacency[rv]
+        adj_u.discard(rv)
+        adj_v.discard(ru)
+        removed_parallel = 1  # the (ru, rv) edge itself disappears
+        for w in adj_v:
+            self.adjacency[w].discard(rv)
+            if w in adj_u:
+                removed_parallel += 1
+            else:
+                adj_u.add(w)
+                self.adjacency[w].add(ru)
+        self.adjacency[rv] = set()
+        self.parent[rv] = ru
+        self.members[ru] |= self.members[rv]
+        del self.members[rv]
+        self.num_nodes -= 1
+        self.num_edges -= removed_parallel
+        return ru
+
+    def snapshot(self) -> dict[object, frozenset[int]]:
+        return {root: frozenset(nodes) for root, nodes in self.members.items()}
+
+
+def _pick_contraction_edge(
+    state: "_ContractionState", rng: random.Random, sample_size: int = 256
+) -> tuple[int, int] | None:
+    """Choose an edge to contract: fewest common neighbors, lowest degrees.
+
+    Contracting an edge whose endpoints share ``c`` common neighbors loses
+    ``c + 1`` edges and one node, so minimizing common neighbors maximizes
+    the density of the contracted graph. Ties prefer low-degree endpoints,
+    which sweeps up path-like filaments before touching dense cores.
+    """
+    live = [node for node, adj in state.adjacency.items() if adj]
+    if not live:
+        return None
+    rng.shuffle(live)
+    best_edge: tuple[int, int] | None = None
+    best_score: tuple[int, int, int] | None = None
+    budget = sample_size
+    for u in live:
+        adj_u = state.adjacency[u]
+        for v in adj_u:
+            common = len(adj_u & state.adjacency[v])
+            score = (common, min(len(adj_u), len(state.adjacency[v])), max(len(adj_u), len(state.adjacency[v])))
+            if best_score is None or score < best_score:
+                best_score = score
+                best_edge = (u, v)
+            budget -= 1
+            if budget <= 0:
+                return best_edge
+    return best_edge
+
+
+def greedy_dense_minor(
+    graph: nx.Graph,
+    rng: int | random.Random | None = None,
+    target_density: float | None = None,
+) -> MinorWitness:
+    """Greedy contraction heuristic for a dense minor.
+
+    Repeatedly contracts the edge losing the fewest edges (fewest common
+    neighbors, preferring low-degree endpoints — see
+    :func:`_pick_contraction_edge`), tracking the densest intermediate minor
+    seen. Returns a witness whose ``density`` is a certified *lower bound*
+    on δ(G). If ``target_density`` is given, the search stops as soon as the
+    bound is exceeded.
+
+    The witness always satisfies ``witness.validate(graph)``.
+    """
+    rng = ensure_rng(rng)
+    if graph.number_of_nodes() == 0:
+        raise GraphStructureError("cannot search minors of an empty graph")
+    state = _ContractionState(graph)
+    best_density = state.density()
+    best_sets = state.snapshot()
+    while state.num_nodes > 1:
+        if target_density is not None and best_density > target_density:
+            break
+        edge = _pick_contraction_edge(state, rng)
+        if edge is None:
+            break
+        state.contract(*edge)
+        if state.density() > best_density:
+            best_density = state.density()
+            best_sets = state.snapshot()
+    return contract_to_minor(graph, best_sets)
+
+
+def greedy_clique_minor(
+    graph: nx.Graph,
+    rng: int | random.Random | None = None,
+    attempts: int = 3,
+) -> MinorWitness:
+    """Heuristic search for a large complete minor ``K_r``.
+
+    First densifies via :func:`greedy_dense_minor`-style contraction, then
+    greedily peels a clique out of the contracted graph: repeatedly keep the
+    super-node of maximum degree and restrict to its neighborhood. Returns
+    the best complete witness over ``attempts`` randomized runs; its
+    ``num_nodes`` is a lower bound on the Hadwiger number ``r(G)``.
+    """
+    rng = ensure_rng(rng)
+    best: MinorWitness | None = None
+    for _ in range(max(1, attempts)):
+        state = _ContractionState(graph)
+        best_local = _extract_clique(graph, state)
+        # Contract down by stages, re-extracting a clique at each density level.
+        while state.num_nodes > 2:
+            steps = max(1, state.num_nodes // 4)
+            for _ in range(steps):
+                edge = _pick_contraction_edge(state, rng)
+                if edge is None:
+                    break
+                state.contract(*edge)
+            candidate = _extract_clique(graph, state)
+            if candidate.num_nodes > best_local.num_nodes:
+                best_local = candidate
+            if not any(state.adjacency.values()):
+                break
+        if best is None or best_local.num_nodes > best.num_nodes:
+            best = best_local
+    assert best is not None
+    return best
+
+
+# Below this size the contracted graph is small enough for exact maximum
+# clique enumeration; above it we fall back to the max-degree greedy peel.
+_EXACT_CLIQUE_LIMIT = 60
+
+
+def _extract_clique(graph: nx.Graph, state: _ContractionState) -> MinorWitness:
+    """Extract a clique from the current contracted graph.
+
+    Uses exact maximum-clique enumeration when the contracted graph is small
+    (the interesting regime after heavy contraction) and a greedy peel
+    otherwise.
+    """
+    adjacency = {node: set(adj) for node, adj in state.adjacency.items() if adj}
+    clique: list[int] = []
+    if 0 < len(adjacency) <= _EXACT_CLIQUE_LIMIT:
+        contracted = nx.Graph(
+            (u, v) for u, neighbors in adjacency.items() for v in neighbors if u < v
+        )
+        clique = list(max(nx.find_cliques(contracted), key=len, default=[]))
+    if not clique:
+        candidates = set(adjacency)
+        while candidates:
+            node = max(candidates, key=lambda v: (len(adjacency[v] & candidates), -v))
+            clique.append(node)
+            candidates &= adjacency[node]
+    if not clique:
+        # Degenerate contracted graph: fall back to a single super-node.
+        any_root = next(iter(state.members))
+        clique = [any_root]
+    branch_sets = {root: frozenset(state.members[root]) for root in clique}
+    labels = list(branch_sets)
+    edges = frozenset(
+        frozenset((a, b)) for i, a in enumerate(labels) for b in labels[i + 1 :]
+    )
+    return MinorWitness(branch_sets=branch_sets, minor_edges=edges)
+
+
+def delta_lower_bound(
+    graph: nx.Graph,
+    rng: int | random.Random | None = None,
+) -> tuple[float, MinorWitness]:
+    """Best heuristic lower bound on δ(G) with its witness.
+
+    Combines the dense-minor contraction heuristic with the trivial bound
+    given by the graph's own density.
+    """
+    witness = greedy_dense_minor(graph, rng=rng)
+    return witness.density, witness
+
+
+# ----------------------------------------------------------------------
+# Analytic upper bounds
+# ----------------------------------------------------------------------
+
+
+def analytic_delta_upper(graph: nx.Graph) -> float | None:
+    """The generator-supplied analytic upper bound on δ(G), if any.
+
+    Generators in :mod:`repro.graphs.generators` record a provable bound in
+    ``graph.graph['delta_upper']`` (e.g. 3 for planar, k for treewidth-k,
+    ``(3 + sqrt(9 + 2g)) / 2`` for planar-plus-g-handles). Returns ``None``
+    for graphs of unknown provenance — callers must then fall back to
+    heuristics and treat results as estimates.
+    """
+    value = graph.graph.get("delta_upper")
+    return float(value) if value is not None else None
+
+
+def thomason_upper(r: int) -> float:
+    """Thomason's bound: a graph with no ``K_r`` minor has δ < 8r·sqrt(log2 r).
+
+    This is Lemma 1.1's upper direction; used by experiment E10 to check
+    the sandwich ``(r-1)/2 ≤ δ ≤ 8r·sqrt(log2 r)`` on concrete graphs.
+    """
+    if r < 2:
+        raise ValueError("Thomason bound needs r >= 2")
+    return 8.0 * r * math.sqrt(math.log2(r)) if r > 2 else 16.0

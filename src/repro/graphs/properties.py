@@ -1,0 +1,159 @@
+"""Structural graph properties: diameter, degeneracy, density.
+
+These are the quantities the paper's bounds are stated in terms of:
+``D`` (diameter), ``m/n`` style densities, and degeneracy as a cheap
+density certificate.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+import networkx as nx
+
+from repro.util.errors import GraphStructureError
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "bfs_distances",
+    "eccentricity",
+    "diameter",
+    "diameter_lower_bound",
+    "degeneracy",
+    "graph_density",
+    "subgraph_density_bounds",
+]
+
+
+def bfs_distances(graph: nx.Graph, source: int) -> dict[int, int]:
+    """Hop distances from ``source`` to every reachable node."""
+    if source not in graph:
+        raise GraphStructureError(f"source {source} is not in the graph")
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in dist:
+                dist[neighbor] = dist[node] + 1
+                queue.append(neighbor)
+    return dist
+
+
+def eccentricity(graph: nx.Graph, source: int) -> int:
+    """Maximum hop distance from ``source`` to any node.
+
+    Raises:
+        GraphStructureError: if the graph is disconnected (some node
+            unreachable from ``source``).
+    """
+    dist = bfs_distances(graph, source)
+    if len(dist) != graph.number_of_nodes():
+        raise GraphStructureError("graph is disconnected; eccentricity undefined")
+    return max(dist.values())
+
+
+def diameter(graph: nx.Graph, exact: bool = True) -> int:
+    """Diameter of a connected graph.
+
+    With ``exact=False``, runs the double-sweep heuristic (two BFS passes),
+    which returns a lower bound that is exact on trees and typically exact
+    or off by one on the mesh-like graphs used in this library. Use it for
+    large benchmark instances where the all-pairs cost of the exact
+    computation dominates.
+    """
+    if graph.number_of_nodes() == 0:
+        raise GraphStructureError("diameter of an empty graph is undefined")
+    if not exact:
+        return diameter_lower_bound(graph)
+    best = 0
+    n = graph.number_of_nodes()
+    for node in graph.nodes():
+        dist = bfs_distances(graph, node)
+        if len(dist) != n:
+            raise GraphStructureError("graph is disconnected; diameter undefined")
+        best = max(best, max(dist.values()))
+    return best
+
+
+def diameter_lower_bound(graph: nx.Graph, start: int | None = None) -> int:
+    """Double-sweep BFS diameter lower bound.
+
+    BFS from an arbitrary node finds a farthest node ``a``; BFS from ``a``
+    finds the eccentricity of ``a``, which lower-bounds the diameter (and
+    equals it on trees).
+    """
+    if start is None:
+        start = next(iter(graph.nodes()))
+    dist = bfs_distances(graph, start)
+    if len(dist) != graph.number_of_nodes():
+        raise GraphStructureError("graph is disconnected; diameter undefined")
+    farthest = max(dist, key=dist.__getitem__)
+    second = bfs_distances(graph, farthest)
+    return max(second.values())
+
+
+def degeneracy(graph: nx.Graph) -> int:
+    """Degeneracy of the graph (maximum over cores of the minimum degree).
+
+    Degeneracy ``d`` implies every subgraph has density at most ``d`` and
+    the graph itself has density at most ``d``; conversely the densest
+    subgraph has density at least ``d/2``. Used to sandwich minor density
+    from below.
+    """
+    if graph.number_of_nodes() == 0:
+        return 0
+    if graph.number_of_edges() == 0:
+        return 0
+    return max(nx.core_number(graph).values())
+
+
+def graph_density(graph: nx.Graph) -> float:
+    """Edge density ``|E| / |V|`` (the paper's density notion, *not* nx.density)."""
+    n = graph.number_of_nodes()
+    if n == 0:
+        raise GraphStructureError("density of an empty graph is undefined")
+    return graph.number_of_edges() / n
+
+
+def subgraph_density_bounds(graph: nx.Graph) -> tuple[float, float]:
+    """(lower, upper) bounds on the maximum density of any *subgraph*.
+
+    The max-core gives a subgraph of density at least ``core/2``; degeneracy
+    upper-bounds every subgraph's density. Since subgraphs are minors, the
+    lower bound is also a lower bound on minor density ``δ(G)``.
+    """
+    d = degeneracy(graph)
+    lower = max(d / 2.0, graph_density(graph))
+    return (lower, float(d))
+
+
+def random_connected_gnp(
+    n: int,
+    p: float,
+    rng: int | random.Random | None = None,
+    max_tries: int = 200,
+) -> nx.Graph:
+    """Erdős–Rényi graph conditioned on connectivity (adds a path if needed).
+
+    Intended for tests that need "irregular" connected graphs quickly; after
+    ``max_tries`` failed samples the last sample is patched with a random
+    Hamiltonian path to force connectivity (and the patching is recorded in
+    ``graph.graph['patched']``).
+    """
+    rng = ensure_rng(rng)
+    graph = None
+    for _ in range(max_tries):
+        seed = rng.randrange(2**31)
+        graph = nx.gnp_random_graph(n, p, seed=seed)
+        if nx.is_connected(graph):
+            graph.graph["patched"] = False
+            return graph
+    assert graph is not None
+    order = list(graph.nodes())
+    rng.shuffle(order)
+    for u, v in zip(order, order[1:]):
+        graph.add_edge(u, v)
+    graph.graph["patched"] = True
+    return graph

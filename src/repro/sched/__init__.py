@@ -1,0 +1,16 @@
+"""Routing and scheduling: the part-wise aggregation engine.
+
+Given a shortcut, solving the part-wise aggregation problem (Definition
+2.1) costs ``O(congestion + dilation · log n)`` rounds using the random
+delays technique [LMR94, Gha15]. This subpackage simulates that execution
+at packet level — one message per edge direction per round, FIFO queues —
+so the round counts reported by the applications are *measured*, not
+asserted.
+"""
+
+from repro.sched.partwise import (
+    PartwiseAggregationResult,
+    partwise_aggregate,
+)
+
+__all__ = ["PartwiseAggregationResult", "partwise_aggregate"]

@@ -1,0 +1,314 @@
+"""Packet-level simulation of simultaneous part-wise aggregations.
+
+For each part ``P_i`` with shortcut subgraph ``H_i``, the communication
+graph is ``C_i = G[P_i] + H_i``. The engine:
+
+1. plans a routing tree ``R_i`` (BFS tree of ``C_i`` from the part leader);
+2. runs a *convergecast* (every node sends one packet to its ``R_i`` parent
+   once all children reported) followed by a *broadcast* of the aggregate
+   back down;
+3. moves packets under the CONGEST capacity constraint — one packet per
+   directed edge per round, FIFO per edge — with every part's start time
+   shifted by a random delay in ``[0, congestion)`` (the LMR94 technique).
+
+The measured completion round is the part-wise aggregation time ``T_PA``;
+with a quality-``Q`` shortcut it is ``O(Q log n)`` whp, which is exactly
+the paper's claim about the usefulness of shortcuts.
+
+Faithfulness note (documented in DESIGN.md): the routing trees are planned
+centrally. A distributed plan costs one extra broadcast-shaped wave over
+``C_i`` with identical congestion characteristics, so the asymptotics and
+the measured shapes are unaffected; the constant is one extra pass.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.congest.stats import RoundStats
+from repro.core.shortcut import Shortcut
+from repro.graphs.partition import Partition
+from repro.util.bitsize import payload_bits
+from repro.util.errors import ShortcutError
+from repro.util.rng import ensure_rng
+
+__all__ = ["PartwiseAggregationResult", "partwise_aggregate", "plan_routing_trees"]
+
+
+@dataclass
+class PartwiseAggregationResult:
+    """Outcome of a simulated simultaneous part-wise aggregation.
+
+    Attributes:
+        values: aggregate per part index (as computed at — and broadcast
+            from — the part leader); parts that did not finish are absent.
+        completion_rounds: per part, the round its broadcast finished.
+        incomplete: parts that did not finish within ``max_rounds``.
+        stats: measured rounds (= max completion) and messages.
+        max_edge_load: planned congestion (max packets assigned to one
+            directed edge), the ``c`` in the ``O(c + d log n)`` bound.
+        max_tree_depth: deepest routing tree, proxy for the dilation ``d``.
+    """
+
+    values: dict[int, object]
+    completion_rounds: dict[int, int]
+    incomplete: tuple[int, ...]
+    stats: RoundStats
+    max_edge_load: int
+    max_tree_depth: int
+
+
+@dataclass
+class _PartPlan:
+    """Routing plan for one part: a rooted tree over its communication graph."""
+
+    index: int
+    root: int
+    parent: dict[int, int | None]
+    children: dict[int, list[int]] = field(default_factory=dict)
+    depth: int = 0
+
+
+def plan_routing_trees(
+    graph: nx.Graph,
+    partition: Partition,
+    shortcut: Shortcut,
+) -> list[_PartPlan]:
+    """BFS routing tree of ``G[P_i] + H_i`` per part, rooted at the leader.
+
+    Raises:
+        ShortcutError: if some part's communication graph is disconnected
+            (infinite dilation — the shortcut is unusable for aggregation).
+    """
+    plans: list[_PartPlan] = []
+    for index in range(len(partition)):
+        communication = shortcut.augmented_subgraph(index)
+        root = partition.leader_of(index)
+        parent: dict[int, int | None] = {root: None}
+        order = [root]
+        queue = deque([root])
+        while queue:
+            node = queue.popleft()
+            for neighbor in communication.neighbors(node):
+                if neighbor not in parent:
+                    parent[neighbor] = node
+                    order.append(neighbor)
+                    queue.append(neighbor)
+        if len(parent) != communication.number_of_nodes():
+            raise ShortcutError(
+                f"part {index}: G[P_i] + H_i is disconnected; cannot aggregate"
+            )
+        children: dict[int, list[int]] = {node: [] for node in parent}
+        depth_of: dict[int, int] = {root: 0}
+        depth = 0
+        for node in order[1:]:
+            par = parent[node]
+            children[par].append(node)
+            depth_of[node] = depth_of[par] + 1
+            depth = max(depth, depth_of[node])
+        plans.append(_PartPlan(index, root, parent, children, depth))
+    return plans
+
+
+def partwise_aggregate(
+    graph: nx.Graph,
+    partition: Partition,
+    shortcut: Shortcut,
+    values: dict[int, object],
+    combine: Callable[[object, object], object],
+    rng: int | random.Random | None = None,
+    delay_mode: str = "random",
+    max_rounds: int | None = None,
+    queue_discipline: str = "fifo",
+) -> PartwiseAggregationResult:
+    """Simulate all parts aggregating simultaneously through the shortcut.
+
+    Args:
+        graph, partition, shortcut: the instance; ``shortcut.subgraphs[i]``
+            is ``H_i``.
+        values: input value per node (nodes outside every part are ignored;
+            nodes of a part missing from ``values`` contribute nothing).
+        combine: associative-commutative combiner (min, max, +, …).
+        rng: seed or generator for the random delays.
+        delay_mode: ``"random"`` (LMR94 delays in ``[0, congestion)``),
+            ``"zero"`` (all parts start at once — the ablation arm), or
+            ``"sequential"`` (part ``i`` starts after ``i`` planned windows —
+            the trivial schedule).
+        max_rounds: hard stop; defaults to a generous
+            ``8·(load + (depth+1)·(2+log2 n)) + 64``.
+        queue_discipline: which queued packet an edge transmits each round:
+            ``"fifo"`` (arrival order) or ``"random"`` (uniform among
+            queued) — scheduling-theory ablation; the LMR bound holds for
+            either.
+
+    Returns:
+        A :class:`PartwiseAggregationResult` with measured rounds.
+
+    Raises:
+        ShortcutError: on disconnected communication graphs, an unknown
+            ``delay_mode``, or an unknown ``queue_discipline``.
+    """
+    if queue_discipline not in ("fifo", "random"):
+        raise ShortcutError(f"unknown queue_discipline {queue_discipline!r}")
+    rng = ensure_rng(rng)
+    plans = plan_routing_trees(graph, partition, shortcut)
+
+    # Planned per-directed-edge load: each routing-tree edge carries exactly
+    # one convergecast packet (up) and one broadcast packet (down).
+    load: dict[tuple[int, int], int] = {}
+    for plan in plans:
+        for node, par in plan.parent.items():
+            if par is None:
+                continue
+            load[(node, par)] = load.get((node, par), 0) + 1
+            load[(par, node)] = load.get((par, node), 0) + 1
+    max_load = max(load.values(), default=0)
+    max_depth = max((plan.depth for plan in plans), default=0)
+
+    delays = _make_delays(len(plans), max_load, max_depth, delay_mode, rng)
+    import math
+
+    n = max(graph.number_of_nodes(), 2)
+    if max_rounds is None:
+        max_rounds = int(
+            8 * (max_load + (max_depth + 1) * (2 + math.log2(n))) + max(delays, default=0) + 64
+        )
+
+    # --- Per-part per-node execution state ---------------------------------
+    pending: list[dict[int, int]] = []  # children still to report, per node
+    accumulator: list[dict[int, object]] = []  # partial aggregates per node
+    for plan in plans:
+        pending.append({node: len(kids) for node, kids in plan.children.items()})
+        acc: dict[int, object] = {}
+        part_nodes = partition[plan.index]
+        for node in plan.parent:
+            acc[node] = values.get(node) if node in part_nodes else None
+        accumulator.append(acc)
+
+    queues: dict[tuple[int, int], deque] = {}
+
+    def enqueue(source: int, target: int, packet: tuple) -> None:
+        queues.setdefault((source, target), deque()).append(packet)
+
+    def merge(part: int, node: int, value: object) -> None:
+        current = accumulator[part][node]
+        if value is None:
+            return
+        accumulator[part][node] = value if current is None else combine(current, value)
+
+    # Seed the convergecast: nodes with no children fire at their delay.
+    start_schedule: dict[int, list[tuple[int, int]]] = {}
+    for plan in plans:
+        for node, kids in plan.children.items():
+            if not kids and plan.parent[node] is not None:
+                start_schedule.setdefault(delays[plan.index], []).append(
+                    (plan.index, node)
+                )
+        if not plan.children[plan.root] and plan.parent[plan.root] is None:
+            # Single-node communication graph: completes instantly at delay.
+            pass
+
+    finished_nodes: list[int] = [0] * len(plans)  # broadcast receipts
+    results: dict[int, object] = {}
+    completion: dict[int, int] = {}
+    stats = RoundStats()
+
+    def finish_check(part: int, current_round: int) -> None:
+        plan = plans[part]
+        if finished_nodes[part] == len(plan.parent) and part not in completion:
+            completion[part] = current_round
+
+    # Parts whose routing tree is a single node complete at their delay.
+    for plan in plans:
+        if len(plan.parent) == 1:
+            results[plan.index] = accumulator[plan.index][plan.root]
+            finished_nodes[plan.index] = 1
+            completion[plan.index] = delays[plan.index]
+
+    current_round = 0
+    while len(completion) < len(plans) and current_round < max_rounds:
+        # Fire freshly-due convergecast leaves.
+        for part, node in start_schedule.get(current_round, ()):  # leaves
+            plan = plans[part]
+            enqueue(node, plan.parent[node], ("up", part, accumulator[part][node]))
+        current_round += 1
+        # One packet per directed edge per round.
+        deliveries = []
+        for edge, queue in queues.items():
+            if not queue:
+                continue
+            if queue_discipline == "random" and len(queue) > 1:
+                position = rng.randrange(len(queue))
+                queue[position], queue[0] = queue[0], queue[position]
+            deliveries.append((edge, queue.popleft()))
+        for (source, target), packet in deliveries:
+            stats.messages += 1
+            stats.message_bits += _packet_bits(packet)
+            kind, part, value = packet
+            plan = plans[part]
+            if kind == "up":
+                merge(part, target, value)
+                pending[part][target] -= 1
+                if pending[part][target] == 0:
+                    parent = plan.parent[target]
+                    if parent is None:
+                        # Root has the aggregate; start the broadcast.
+                        results[part] = accumulator[part][target]
+                        finished_nodes[part] += 1
+                        for child in plan.children[target]:
+                            enqueue(target, child, ("down", part, results[part]))
+                        finish_check(part, current_round)
+                    else:
+                        enqueue(target, parent, ("up", part, accumulator[part][target]))
+            else:  # down
+                finished_nodes[part] += 1
+                for child in plan.children[target]:
+                    enqueue(target, child, ("down", part, value))
+                finish_check(part, current_round)
+    stats.rounds = max(completion.values(), default=0) if len(completion) == len(
+        plans
+    ) else current_round
+    incomplete = tuple(
+        plan.index for plan in plans if plan.index not in completion
+    )
+    return PartwiseAggregationResult(
+        values=results,
+        completion_rounds=completion,
+        incomplete=incomplete,
+        stats=stats,
+        max_edge_load=max_load,
+        max_tree_depth=max_depth,
+    )
+
+
+def _make_delays(
+    num_parts: int,
+    max_load: int,
+    max_depth: int,
+    delay_mode: str,
+    rng: random.Random,
+) -> list[int]:
+    if delay_mode == "zero":
+        return [0] * num_parts
+    if delay_mode == "random":
+        spread = max(1, max_load)
+        return [rng.randrange(spread) for _ in range(num_parts)]
+    if delay_mode == "sequential":
+        window = 2 * (max_depth + 1)
+        return [i * window for i in range(num_parts)]
+    raise ShortcutError(f"unknown delay_mode {delay_mode!r}")
+
+
+def _packet_bits(packet: tuple) -> int:
+    kind, part, value = packet
+    try:
+        return 2 + payload_bits(part) + payload_bits(value)
+    except TypeError:
+        # Arbitrary python values (e.g. frozensets in tests): charge a
+        # conservative flat size.
+        return 64

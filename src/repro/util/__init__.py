@@ -1,0 +1,23 @@
+"""Shared utilities: RNG plumbing, errors, and bit-size accounting."""
+
+from repro.util.errors import (
+    CongestViolation,
+    GraphStructureError,
+    PartitionError,
+    ReproError,
+    ShortcutError,
+)
+from repro.util.rng import ensure_rng, part_sample_hash
+from repro.util.bitsize import bits_for_int, payload_bits
+
+__all__ = [
+    "CongestViolation",
+    "GraphStructureError",
+    "PartitionError",
+    "ReproError",
+    "ShortcutError",
+    "ensure_rng",
+    "part_sample_hash",
+    "bits_for_int",
+    "payload_bits",
+]

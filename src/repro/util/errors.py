@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised on a user-facing code path derives from
+:class:`ReproError`, so downstream callers can catch a single base class.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphStructureError(ReproError):
+    """A graph does not satisfy a structural precondition.
+
+    Examples: a disconnected graph handed to a diameter-sensitive routine, a
+    tree whose parent pointers contain a cycle, or an edge referencing a node
+    that is not in the graph.
+    """
+
+
+class PartitionError(ReproError):
+    """A collection of parts violates the part-wise aggregation setup.
+
+    Raised when parts overlap, when a part induces a disconnected subgraph,
+    or when a part references unknown nodes (Definition 2.1 of the paper).
+    """
+
+
+class ShortcutError(ReproError):
+    """A shortcut object is malformed or violates a requested guarantee."""
+
+
+class CongestViolation(ReproError):
+    """A CONGEST-model constraint was violated in the simulator.
+
+    The standard model permits one ``O(log n)``-bit message per edge
+    direction per round; exceeding either the size or the multiplicity
+    budget raises this error so that algorithm bugs surface loudly instead
+    of silently producing rounds counts that the model would not allow.
+    """

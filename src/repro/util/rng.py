@@ -1,0 +1,48 @@
+"""Randomness helpers.
+
+All stochastic code in the library accepts either a seed, a
+:class:`random.Random` instance, or ``None`` and funnels it through
+:func:`ensure_rng`, so experiments are reproducible end to end.
+
+:func:`part_sample_hash` implements the *shared-seed sampling* trick used by
+the distributed shortcut construction (Theorem 1.5): every node of a part
+must make the same inclusion decision without intra-part communication, so
+the decision is a deterministic hash of ``(part_id, seed)`` rather than a
+per-node coin flip.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+__all__ = ["ensure_rng", "part_sample_hash"]
+
+
+def ensure_rng(seed: int | random.Random | None) -> random.Random:
+    """Return a :class:`random.Random` for any accepted seed spec.
+
+    Accepts an existing generator (returned as-is), an integer seed, or
+    ``None`` (fresh nondeterministic generator).
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def part_sample_hash(part_id: int, seed: int, probability: float) -> bool:
+    """Deterministically decide whether a part is sampled.
+
+    Every node that knows ``part_id`` and the broadcast ``seed`` computes the
+    same boolean, emulating a shared coin with bias ``probability`` without
+    any communication. The hash is SHA-256 over the pair, mapped to
+    ``[0, 1)``.
+
+    Raises:
+        ValueError: if ``probability`` is outside ``[0, 1]``.
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {probability}")
+    digest = hashlib.sha256(f"{part_id}:{seed}".encode()).digest()
+    value = int.from_bytes(digest[:8], "big") / float(1 << 64)
+    return value < probability

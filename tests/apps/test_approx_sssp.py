@@ -1,0 +1,89 @@
+"""Tests for the (1+ε) weight-rounding SSSP approximation."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.apps.mst import assign_random_weights
+from repro.apps.sssp import approx_sssp
+from repro.graphs.adjacency import canonical_edge
+from repro.graphs.generators import grid_graph
+from repro.util.errors import GraphStructureError
+
+from tests.conftest import connected_graphs
+
+
+def _dijkstra(graph, weights, source=0):
+    for u, v in graph.edges():
+        graph.edges[u, v]["weight"] = weights[canonical_edge(u, v)]
+    return nx.single_source_dijkstra_path_length(graph, source, weight="weight")
+
+
+class TestApproxGuarantee:
+    def test_within_epsilon_on_grid(self):
+        graph = grid_graph(7, 7)
+        weights = assign_random_weights(graph, rng=1, max_weight=1000)
+        reference = _dijkstra(graph, weights)
+        hop_bound = 2 * (7 + 7)  # generous: covers every shortest path
+        distances, _ = approx_sssp(graph, 0, weights, epsilon=0.1, hop_bound=hop_bound)
+        for node in graph.nodes():
+            if node == 0:
+                assert distances[node] == 0
+                continue
+            assert distances[node] is not None
+            # Lower side: never undershoots the true distance (±1 truncation).
+            assert distances[node] >= reference[node] - 1
+            # Upper side: within (1 + eps), plus the truncation unit.
+            assert distances[node] <= 1.1 * reference[node] + 1
+
+    def test_smaller_epsilon_is_tighter(self):
+        graph = grid_graph(6, 6)
+        weights = assign_random_weights(graph, rng=2, max_weight=500)
+        reference = _dijkstra(graph, weights)
+        hop_bound = 24
+        loose, _ = approx_sssp(graph, 0, weights, epsilon=1.0, hop_bound=hop_bound)
+        tight, _ = approx_sssp(graph, 0, weights, epsilon=0.05, hop_bound=hop_bound)
+        loose_err = sum(loose[v] - reference[v] for v in graph.nodes() if v)
+        tight_err = sum(tight[v] - reference[v] for v in graph.nodes() if v)
+        assert tight_err <= loose_err
+
+    def test_hop_bound_limits_reach(self):
+        graph = nx.path_graph(10)
+        weights = {canonical_edge(i, i + 1): 10 for i in range(9)}
+        distances, stats = approx_sssp(graph, 0, weights, epsilon=0.5, hop_bound=3)
+        assert distances[3] is not None
+        assert distances[9] is None
+        assert stats.rounds <= 4
+
+    @given(connected_graphs(min_nodes=3, max_nodes=20))
+    @settings(max_examples=15, deadline=None)
+    def test_never_undershoots_property(self, graph):
+        weights = assign_random_weights(graph, rng=0, max_weight=100)
+        reference = _dijkstra(graph, weights)
+        distances, _ = approx_sssp(
+            graph, 0, weights, epsilon=0.25, hop_bound=graph.number_of_nodes()
+        )
+        for node in graph.nodes():
+            assert distances[node] is not None
+            assert distances[node] >= reference[node] - 1
+
+
+class TestValidation:
+    def test_rejects_bad_epsilon(self):
+        graph = grid_graph(3, 3)
+        weights = assign_random_weights(graph, rng=1)
+        with pytest.raises(GraphStructureError):
+            approx_sssp(graph, 0, weights, epsilon=0, hop_bound=5)
+        with pytest.raises(GraphStructureError):
+            approx_sssp(graph, 0, weights, epsilon=1.5, hop_bound=5)
+
+    def test_rejects_bad_hop_bound(self):
+        graph = grid_graph(3, 3)
+        weights = assign_random_weights(graph, rng=1)
+        with pytest.raises(GraphStructureError):
+            approx_sssp(graph, 0, weights, epsilon=0.5, hop_bound=0)
+
+    def test_rejects_all_zero_weights(self):
+        graph = nx.path_graph(3)
+        with pytest.raises(GraphStructureError):
+            approx_sssp(graph, 0, {(0, 1): 0, (1, 2): 0}, epsilon=0.5, hop_bound=3)

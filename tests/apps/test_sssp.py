@@ -1,0 +1,77 @@
+"""Tests for the SSSP primitives."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.apps.sssp import bellman_ford_sssp, distributed_bfs_sssp
+from repro.apps.mst import assign_random_weights
+from repro.graphs.adjacency import canonical_edge
+from repro.graphs.generators import grid_graph, wheel_graph
+from repro.util.errors import GraphStructureError
+
+from tests.conftest import connected_graphs
+
+
+class TestBfsSssp:
+    def test_matches_networkx(self):
+        graph = grid_graph(6, 6)
+        distances, stats = distributed_bfs_sssp(graph, 0, rng=1)
+        reference = nx.single_source_shortest_path_length(graph, 0)
+        assert distances == dict(reference)
+        assert stats.rounds <= max(reference.values()) + 2
+
+
+class TestBellmanFord:
+    def test_exact_weighted_distances(self):
+        graph = grid_graph(6, 6)
+        weights = assign_random_weights(graph, rng=2, max_weight=100)
+        for u, v in graph.edges():
+            graph.edges[u, v]["weight"] = weights[canonical_edge(u, v)]
+        distances, _ = bellman_ford_sssp(graph, 0, weights)
+        reference = nx.single_source_dijkstra_path_length(graph, 0, weight="weight")
+        assert all(distances[v] == reference[v] for v in graph.nodes())
+
+    def test_unit_weights_equal_bfs(self):
+        graph = wheel_graph(15)
+        weighted, _ = bellman_ford_sssp(graph, 0)
+        hops, _ = distributed_bfs_sssp(graph, 0, rng=1)
+        assert weighted == hops
+
+    def test_hop_bound_truncates(self):
+        graph = nx.path_graph(10)
+        distances, stats = bellman_ford_sssp(graph, 0, max_hops=3)
+        assert distances[3] == 3
+        assert distances[9] is None
+        assert stats.rounds <= 4
+
+    def test_hop_bound_exact_within_budget(self):
+        graph = grid_graph(5, 5)
+        weights = assign_random_weights(graph, rng=3, max_weight=9)
+        full, _ = bellman_ford_sssp(graph, 0, weights)
+        bounded, _ = bellman_ford_sssp(graph, 0, weights, max_hops=24)
+        assert full == bounded
+
+    def test_rejects_negative_weights(self):
+        graph = nx.path_graph(3)
+        with pytest.raises(GraphStructureError):
+            bellman_ford_sssp(graph, 0, {(0, 1): -1, (1, 2): 1})
+
+    def test_rejects_float_weights(self):
+        graph = nx.path_graph(2)
+        with pytest.raises(GraphStructureError):
+            bellman_ford_sssp(graph, 0, {(0, 1): 0.5})
+
+    def test_rejects_unknown_source(self):
+        with pytest.raises(GraphStructureError):
+            bellman_ford_sssp(nx.path_graph(3), 99)
+
+    @given(connected_graphs(min_nodes=2, max_nodes=20))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_dijkstra_property(self, graph):
+        weights = assign_random_weights(graph, rng=0, max_weight=50)
+        for u, v in graph.edges():
+            graph.edges[u, v]["weight"] = weights[canonical_edge(u, v)]
+        distances, _ = bellman_ford_sssp(graph, 0, weights)
+        reference = nx.single_source_dijkstra_path_length(graph, 0, weight="weight")
+        assert all(distances[v] == reference[v] for v in graph.nodes())

@@ -1,0 +1,160 @@
+"""Tests for the CONGEST simulator core (network, stats, bandwidth)."""
+
+import networkx as nx
+import pytest
+
+from repro.congest import NodeAlgorithm, RoundStats, SyncNetwork
+from repro.util.errors import CongestViolation, GraphStructureError
+
+
+class _Silent(NodeAlgorithm):
+    def on_round(self, ctx, inbox):
+        return {}
+
+
+class _PingOnce(NodeAlgorithm):
+    """Node 0 pings node 1 once; 1 records receipt."""
+
+    def __init__(self, node):
+        self.node = node
+        self.got = None
+
+    def on_start(self, ctx):
+        if self.node == 0:
+            return {1: (7,)}
+        return {}
+
+    def on_round(self, ctx, inbox):
+        for sender, payload in inbox.items():
+            self.got = (sender, payload)
+        return {}
+
+    def result(self):
+        return self.got
+
+
+class _Chatter(NodeAlgorithm):
+    """Sends to all neighbors every round forever (for timeout tests)."""
+
+    def on_round(self, ctx, inbox):
+        return {neighbor: (1,) for neighbor in ctx.neighbors}
+
+    def on_start(self, ctx):
+        return {neighbor: (1,) for neighbor in ctx.neighbors}
+
+
+class _TooBig(NodeAlgorithm):
+    def on_start(self, ctx):
+        return {neighbor: tuple(range(500)) for neighbor in ctx.neighbors}
+
+    def on_round(self, ctx, inbox):
+        return {}
+
+
+class _WrongTarget(NodeAlgorithm):
+    def __init__(self, node):
+        self.node = node
+
+    def on_start(self, ctx):
+        if self.node == 0:
+            return {99: (1,)}
+        return {}
+
+    def on_round(self, ctx, inbox):
+        return {}
+
+
+class TestSyncNetwork:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphStructureError):
+            SyncNetwork(nx.Graph())
+
+    def test_silent_network_quiesces_immediately(self):
+        graph = nx.path_graph(3)
+        network = SyncNetwork(graph)
+        _, stats = network.run({v: _Silent() for v in graph})
+        assert stats.rounds == 0
+        assert stats.messages == 0
+
+    def test_single_ping_delivered(self):
+        graph = nx.path_graph(2)
+        network = SyncNetwork(graph)
+        algorithms = {v: _PingOnce(v) for v in graph}
+        results, stats = network.run(algorithms)
+        assert results[1] == (0, (7,))
+        assert stats.messages == 1
+        assert stats.rounds == 1
+
+    def test_coverage_mismatch_rejected(self):
+        graph = nx.path_graph(3)
+        network = SyncNetwork(graph)
+        with pytest.raises(GraphStructureError):
+            network.run({0: _Silent()})
+
+    def test_timeout_raises(self):
+        graph = nx.path_graph(2)
+        network = SyncNetwork(graph)
+        with pytest.raises(CongestViolation):
+            network.run({v: _Chatter() for v in graph}, max_rounds=10)
+
+    def test_timeout_tolerated_when_asked(self):
+        graph = nx.path_graph(2)
+        network = SyncNetwork(graph)
+        _, stats = network.run(
+            {v: _Chatter() for v in graph}, max_rounds=10, raise_on_timeout=False
+        )
+        assert stats.rounds == 10
+
+    def test_bandwidth_enforced(self):
+        graph = nx.path_graph(2)
+        network = SyncNetwork(graph)
+        with pytest.raises(CongestViolation):
+            network.run({v: _TooBig() for v in graph})
+
+    def test_bandwidth_can_be_disabled(self):
+        graph = nx.path_graph(2)
+        network = SyncNetwork(graph, enforce_bandwidth=False)
+        _, stats = network.run({v: _TooBig() for v in graph})
+        assert stats.messages == 2
+
+    def test_non_neighbor_send_rejected(self):
+        graph = nx.path_graph(3)
+        network = SyncNetwork(graph)
+        with pytest.raises(CongestViolation):
+            network.run({v: _WrongTarget(v) for v in graph})
+
+    def test_message_bits_counted(self):
+        graph = nx.path_graph(2)
+        network = SyncNetwork(graph)
+        _, stats = network.run({v: _PingOnce(v) for v in graph})
+        assert stats.message_bits > 0
+
+
+class TestRoundStats:
+    def test_addition(self):
+        a = RoundStats(rounds=3, messages=10, message_bits=100)
+        b = RoundStats(rounds=2, messages=5, message_bits=50)
+        total = a + b
+        assert total.rounds == 5
+        assert total.messages == 15
+        assert total.message_bits == 150
+
+    def test_add_phase_accumulates(self):
+        total = RoundStats()
+        total.add_phase("one", RoundStats(rounds=4, messages=2))
+        total.add_phase("two", RoundStats(rounds=6, messages=3))
+        assert total.rounds == 10
+        assert total.messages == 5
+        assert set(total.phases) == {"one", "two"}
+
+    def test_duplicate_phase_rejected(self):
+        total = RoundStats()
+        total.add_phase("one", RoundStats(rounds=1))
+        with pytest.raises(ValueError):
+            total.add_phase("one", RoundStats(rounds=1))
+
+    def test_summary_mentions_phases(self):
+        total = RoundStats()
+        total.add_phase("bfs", RoundStats(rounds=7))
+        assert "bfs" in total.summary()
+        assert "rounds=7" in total.summary()

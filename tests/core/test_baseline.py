@@ -1,0 +1,49 @@
+"""Tests for repro.core.baseline — the D + sqrt(n) folklore shortcut."""
+
+import math
+
+from repro.core.baseline import bfs_tree_shortcut
+from repro.core.bounds import baseline_quality_bound
+from repro.graphs.generators import grid_graph, wheel_graph
+from repro.graphs.partition import Partition, grid_rows_partition, voronoi_partition
+from repro.graphs.trees import bfs_tree
+
+
+class TestBaselineShortcut:
+    def test_small_parts_get_nothing(self, small_grid):
+        partition = Partition(small_grid, [[0, 1], [2, 3]])
+        shortcut = bfs_tree_shortcut(small_grid, partition)
+        assert all(not edges for edges in shortcut.subgraphs)
+
+    def test_large_parts_get_whole_tree(self, small_grid):
+        partition = grid_rows_partition(small_grid)  # rows of 6 = sqrt(36) are not > threshold
+        shortcut = bfs_tree_shortcut(small_grid, partition, size_threshold=5.0)
+        tree_size = small_grid.number_of_nodes() - 1
+        assert all(len(edges) == tree_size for edges in shortcut.subgraphs)
+
+    def test_congestion_bounded_by_large_part_count(self):
+        graph = grid_graph(10, 10)
+        partition = voronoi_partition(graph, 12, rng=3)
+        shortcut = bfs_tree_shortcut(graph, partition)
+        threshold = math.sqrt(graph.number_of_nodes())
+        large = sum(1 for part in partition if len(part) > threshold)
+        assert shortcut.congestion() <= large
+
+    def test_quality_within_folklore_bound(self):
+        graph = grid_graph(9, 9)
+        tree = bfs_tree(graph)
+        partition = voronoi_partition(graph, 9, rng=5)
+        shortcut = bfs_tree_shortcut(graph, partition, tree=tree)
+        quality = shortcut.quality()
+        assert quality.quality <= baseline_quality_bound(
+            graph.number_of_nodes(), tree.max_depth
+        )
+
+    def test_wheel_large_part_rides_tree(self):
+        graph = wheel_graph(30)
+        rim = list(range(1, 30))
+        partition = Partition(graph, [rim])
+        shortcut = bfs_tree_shortcut(graph, partition)
+        # Rim (29 nodes) > sqrt(30): gets the BFS tree, dilation <= 2*depth.
+        tree = shortcut.tree
+        assert shortcut.part_dilation(0) <= 2 * tree.max_depth

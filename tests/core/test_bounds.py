@@ -1,0 +1,45 @@
+"""Tests for repro.core.bounds — the paper's formulas."""
+
+from repro.core.bounds import (
+    baseline_quality_bound,
+    lemma32_quality_bound,
+    observation26_dilation_bound,
+    theorem12_congestion_bound,
+    theorem12_dilation_bound,
+    theorem31_block_budget,
+    theorem31_congestion_budget,
+)
+
+
+class TestBudgets:
+    def test_congestion_budget_formula(self):
+        assert theorem31_congestion_budget(3.0, 10) == 240
+
+    def test_congestion_budget_floors_depth_at_one(self):
+        assert theorem31_congestion_budget(2.0, 0) == 16
+
+    def test_block_budget_formula(self):
+        assert theorem31_block_budget(3.0) == 24
+        assert theorem31_block_budget(2.5) == 20
+
+    def test_fractional_delta_rounds_up(self):
+        assert theorem31_congestion_budget(0.5, 10) == 40
+
+
+class TestDerivedBounds:
+    def test_observation26(self):
+        assert observation26_dilation_bound(3, 10) == 63
+
+    def test_theorem12_congestion_grows_with_parts(self):
+        small = theorem12_congestion_bound(2.0, 10, 4)
+        large = theorem12_congestion_bound(2.0, 10, 1000)
+        assert large > small
+
+    def test_theorem12_dilation_independent_of_parts(self):
+        assert theorem12_dilation_bound(2.0, 10) == 16 * 21
+
+    def test_lemma32(self):
+        assert lemma32_quality_bound(9, 60) == 60.0
+
+    def test_baseline(self):
+        assert baseline_quality_bound(100, 10) == 40.0

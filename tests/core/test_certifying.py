@@ -1,0 +1,84 @@
+"""Tests for repro.core.certifying — case II dense-minor extraction."""
+
+import pytest
+
+from repro.core.certifying import certify_or_shortcut, sample_dense_minor
+from repro.core.partial import build_partial_shortcut
+from repro.graphs.generators import grid_graph, lower_bound_graph
+from repro.graphs.partition import voronoi_partition
+from repro.graphs.trees import bfs_tree
+
+
+class TestSampleDenseMinor:
+    @pytest.fixture(scope="class")
+    def case_two_result(self):
+        instance = lower_bound_graph(5, 20)
+        tree = bfs_tree(instance.graph)
+        result = build_partial_shortcut(
+            instance.graph, tree, instance.partition, delta=0.1
+        )
+        assert not result.succeeded
+        return result
+
+    def test_extracts_witness_denser_than_delta(self, case_two_result):
+        witness = sample_dense_minor(case_two_result, rng=11)
+        assert witness is not None
+        assert witness.density > case_two_result.delta
+        witness.validate(case_two_result.graph)
+
+    def test_witness_is_bipartite(self, case_two_result):
+        witness = sample_dense_minor(case_two_result, rng=3)
+        assert witness is not None
+        for pair in witness.minor_edges:
+            kinds = sorted(kind for kind, _ in pair)
+            assert kinds == ["edge", "part"]
+
+    def test_returns_none_when_case_one(self):
+        graph = grid_graph(10, 10)
+        tree = bfs_tree(graph)
+        partition = voronoi_partition(graph, 10, rng=1)
+        result = build_partial_shortcut(graph, tree, partition, delta=3.0)
+        assert result.succeeded
+        # No overcongested edges at all: nothing to sample.
+        witness = sample_dense_minor(result, rng=1, max_attempts=20)
+        assert witness is None
+
+    def test_deterministic_with_seed(self, case_two_result):
+        first = sample_dense_minor(case_two_result, rng=42)
+        second = sample_dense_minor(case_two_result, rng=42)
+        assert first is not None and second is not None
+        assert first.branch_sets.keys() == second.branch_sets.keys()
+
+
+class TestCertifyOrShortcut:
+    def test_easy_instance_no_witness(self):
+        graph = grid_graph(8, 8)
+        tree = bfs_tree(graph)
+        partition = voronoi_partition(graph, 8, rng=2)
+        outcome = certify_or_shortcut(graph, tree, partition, initial_delta=3.0)
+        assert outcome.result.succeeded
+        assert outcome.witness is None
+        assert outcome.attempts == [(3.0, True)]
+
+    def test_escalation_collects_witness(self):
+        instance = lower_bound_graph(5, 20)
+        tree = bfs_tree(instance.graph)
+        outcome = certify_or_shortcut(
+            instance.graph, tree, instance.partition, initial_delta=0.05, rng=7
+        )
+        assert outcome.result.succeeded
+        # At least one earlier attempt failed, producing a witness.
+        assert any(not ok for _, ok in outcome.attempts[:-1])
+        assert outcome.witness is not None
+        outcome.witness.validate(instance.graph)
+        # The witness certifies that the failed delta was too small.
+        first_failed_delta = outcome.attempts[0][0]
+        assert outcome.witness.density > first_failed_delta
+
+    def test_final_attempt_always_succeeds(self):
+        instance = lower_bound_graph(5, 20)
+        tree = bfs_tree(instance.graph)
+        outcome = certify_or_shortcut(
+            instance.graph, tree, instance.partition, initial_delta=0.2, rng=9
+        )
+        assert outcome.attempts[-1][1] is True

@@ -1,0 +1,84 @@
+"""Property tests for conflict_from_marking and steiner_prune consistency."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partial import (
+    conflict_from_marking,
+    mark_overcongested_edges,
+    steiner_prune,
+)
+from repro.graphs.trees import bfs_tree
+
+from tests.conftest import graphs_with_partitions
+
+
+class TestConflictFromMarking:
+    @given(graphs_with_partitions(min_nodes=4, max_nodes=30), st.integers(2, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_with_exact_marking_property(self, graph_and_partition, budget):
+        """Re-interpreting the exact marking reproduces the conflict graph."""
+        graph, partition = graph_and_partition
+        tree = bfs_tree(graph, root=0)
+        marked, conflict = mark_overcongested_edges(tree, partition, budget)
+        reinterpreted = conflict_from_marking(tree, partition, marked)
+        assert reinterpreted.part_degrees == conflict.part_degrees
+        assert set(reinterpreted.incidences) == set(conflict.incidences)
+        for child in conflict.incidences:
+            assert set(reinterpreted.incidences[child]) == set(
+                conflict.incidences[child]
+            )
+
+    @given(
+        graphs_with_partitions(min_nodes=4, max_nodes=25),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_arbitrary_marking_degrees_bounded_property(
+        self, graph_and_partition, seed
+    ):
+        """Degrees never exceed the number of marked edges, reps are part nodes."""
+        graph, partition = graph_and_partition
+        tree = bfs_tree(graph, root=0)
+        rng = random.Random(seed)
+        candidates = [v for v in tree.nodes() if tree.parent_of(v) is not None]
+        marked = frozenset(v for v in candidates if rng.random() < 0.3)
+        conflict = conflict_from_marking(tree, partition, marked)
+        for degree in conflict.part_degrees.values():
+            assert 0 <= degree <= len(marked)
+        for child, parts in conflict.incidences.items():
+            assert child in marked
+            for part_index, representative in parts.items():
+                assert representative in partition[part_index]
+
+
+class TestSteinerPruneProperties:
+    @given(graphs_with_partitions(min_nodes=3, max_nodes=25))
+    @settings(max_examples=25, deadline=None)
+    def test_idempotent_property(self, graph_and_partition):
+        graph, partition = graph_and_partition
+        tree = bfs_tree(graph, root=0)
+        for part in partition:
+            raw = frozenset(
+                child
+                for node in part
+                for child in tree.ancestor_edges(node)
+            )
+            once = steiner_prune(tree, part, raw)
+            twice = steiner_prune(tree, part, once)
+            assert once == twice
+
+    @given(graphs_with_partitions(min_nodes=3, max_nodes=25))
+    @settings(max_examples=25, deadline=None)
+    def test_subset_property(self, graph_and_partition):
+        graph, partition = graph_and_partition
+        tree = bfs_tree(graph, root=0)
+        for part in partition:
+            raw = frozenset(
+                child
+                for node in part
+                for child in tree.ancestor_edges(node)
+            )
+            assert steiner_prune(tree, part, raw) <= raw

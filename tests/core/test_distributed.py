@@ -1,0 +1,108 @@
+"""Tests for the Theorem 1.5 distributed construction."""
+
+import pytest
+
+from repro.core.distributed import distributed_partial_shortcut
+from repro.core.partial import build_partial_shortcut, conflict_from_marking
+from repro.graphs.generators import grid_graph, k_tree
+from repro.graphs.partition import grid_rows_partition, voronoi_partition
+from repro.graphs.trees import bfs_tree
+from repro.util.errors import ShortcutError
+
+
+class TestExactModeAgreesWithCentralized:
+    def test_marking_identical(self):
+        graph = grid_graph(10, 10)
+        partition = grid_rows_partition(graph)
+        distributed = distributed_partial_shortcut(
+            graph, partition, delta=0.02, rng=3, exact=True, run_verification=False
+        )
+        central = build_partial_shortcut(
+            graph, bfs_tree(graph, 0), partition, delta=0.02
+        )
+        assert distributed.marked == central.overcongested
+
+    def test_satisfied_sets_identical(self):
+        graph = grid_graph(10, 10)
+        partition = voronoi_partition(graph, 25, rng=1)
+        distributed = distributed_partial_shortcut(
+            graph, partition, delta=0.05, rng=3, exact=True, run_verification=False
+        )
+        central = build_partial_shortcut(
+            graph, bfs_tree(graph, 0), partition, delta=0.05
+        )
+        assert distributed.satisfied == central.satisfied
+
+
+class TestSampledConstruction:
+    def test_grid_rows_succeed_at_planar_delta(self):
+        graph = grid_graph(12, 12)
+        partition = grid_rows_partition(graph)
+        result = distributed_partial_shortcut(graph, partition, delta=3.0, rng=1)
+        assert result.succeeded
+        assert len(result.satisfied) == len(partition)
+
+    def test_congestion_within_budget_slack(self):
+        graph = grid_graph(12, 12)
+        partition = voronoi_partition(graph, 40, rng=2)
+        result = distributed_partial_shortcut(graph, partition, delta=3.0, rng=3)
+        shortcut = result.shortcut()
+        # Sampled marking: unmarked edges have |I_e| < 2c whp.
+        assert shortcut.congestion() <= 2 * result.congestion_budget
+
+    def test_k_tree_succeeds(self):
+        graph = k_tree(150, 3, rng=4, locality=0.9)
+        partition = voronoi_partition(graph, 30, rng=5)
+        result = distributed_partial_shortcut(graph, partition, delta=3.0, rng=6)
+        assert result.succeeded
+
+    def test_round_scaling_near_linear_in_depth(self):
+        # Rounds should scale ~ D log n, not D^2: compare two grid depths.
+        small = grid_graph(8, 8)
+        large = grid_graph(16, 16)
+        result_small = distributed_partial_shortcut(
+            small, grid_rows_partition(small), delta=3.0, rng=1,
+            run_verification=False,
+        )
+        result_large = distributed_partial_shortcut(
+            large, grid_rows_partition(large), delta=3.0, rng=1,
+            run_verification=False,
+        )
+        depth_ratio = result_large.params["depth_max"] / result_small.params["depth_max"]
+        rounds_ratio = result_large.stats.rounds / result_small.stats.rounds
+        # Allow slack for the log factor but rule out quadratic growth.
+        assert rounds_ratio <= depth_ratio * 2.5
+
+    def test_phase_breakdown_present(self):
+        graph = grid_graph(8, 8)
+        partition = grid_rows_partition(graph)
+        result = distributed_partial_shortcut(graph, partition, delta=3.0, rng=1)
+        assert {"bfs", "meta", "sweep", "verify"} <= set(result.stats.phases)
+
+    def test_rejects_nonpositive_delta(self):
+        graph = grid_graph(4, 4)
+        partition = grid_rows_partition(graph)
+        with pytest.raises(ShortcutError):
+            distributed_partial_shortcut(graph, partition, delta=0)
+
+    def test_no_satisfied_parts_shortcut_raises(self):
+        graph = grid_graph(6, 6)
+        partition = grid_rows_partition(graph)
+        result = distributed_partial_shortcut(
+            graph, partition, delta=3.0, rng=1, run_verification=False
+        )
+        # Sanity path: force an empty satisfied tuple.
+        result.satisfied = ()
+        with pytest.raises(ShortcutError):
+            result.shortcut()
+
+    def test_sampled_marking_interpretable(self):
+        graph = grid_graph(10, 10)
+        partition = voronoi_partition(graph, 30, rng=7)
+        result = distributed_partial_shortcut(
+            graph, partition, delta=1.0, rng=8, run_verification=False
+        )
+        conflict = conflict_from_marking(result.tree, partition, result.marked)
+        # Degrees must be consistent with the satisfied decision.
+        for index in result.satisfied:
+            assert conflict.part_degrees[index] <= result.block_budget

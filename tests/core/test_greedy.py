@@ -1,0 +1,79 @@
+"""Tests for the greedy ablation constructor."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.greedy import greedy_shortcut
+from repro.graphs.generators import grid_graph
+from repro.graphs.partition import grid_rows_partition, voronoi_partition
+from repro.graphs.trees import bfs_tree
+from repro.util.errors import ShortcutError
+
+from tests.conftest import graphs_with_partitions
+
+
+class TestGreedyShortcut:
+    def test_every_part_gets_an_assignment(self, small_grid):
+        tree = bfs_tree(small_grid)
+        partition = grid_rows_partition(small_grid)
+        result = greedy_shortcut(small_grid, tree, partition, 3.0)
+        assert len(result.shortcut.subgraphs) == len(partition)
+
+    def test_congestion_respects_cap(self):
+        graph = grid_graph(10, 10)
+        tree = bfs_tree(graph)
+        partition = voronoi_partition(graph, 30, rng=1)
+        result = greedy_shortcut(graph, tree, partition, 3.0, congestion_cap=3)
+        assert result.shortcut.congestion() <= 3
+
+    def test_tight_cap_saturates_edges(self):
+        graph = grid_graph(8, 8)
+        tree = bfs_tree(graph)
+        partition = grid_rows_partition(graph)
+        result = greedy_shortcut(graph, tree, partition, 3.0, congestion_cap=1)
+        assert result.saturated_edges
+
+    def test_orders(self):
+        graph = grid_graph(6, 6)
+        tree = bfs_tree(graph)
+        partition = voronoi_partition(graph, 8, rng=2)
+        for order in ("index", "random", "large_first"):
+            result = greedy_shortcut(
+                graph, tree, partition, 3.0, order=order, rng=3
+            )
+            assert result.shortcut.congestion() <= result.congestion_cap
+
+    def test_unknown_order_rejected(self, small_grid):
+        tree = bfs_tree(small_grid)
+        partition = grid_rows_partition(small_grid)
+        with pytest.raises(ShortcutError):
+            greedy_shortcut(small_grid, tree, partition, 3.0, order="chaotic")
+
+    def test_bad_cap_rejected(self, small_grid):
+        tree = bfs_tree(small_grid)
+        partition = grid_rows_partition(small_grid)
+        with pytest.raises(ShortcutError):
+            greedy_shortcut(small_grid, tree, partition, 3.0, congestion_cap=0)
+
+    def test_generous_cap_matches_unconstrained_quality(self):
+        # With a cap nothing ever hits, greedy == pruned ancestor edges,
+        # i.e. the same assignment the theorem construction makes when no
+        # edge is overcongested.
+        from repro.core.partial import build_partial_shortcut
+
+        graph = grid_graph(8, 8)
+        tree = bfs_tree(graph)
+        partition = grid_rows_partition(graph)
+        greedy = greedy_shortcut(graph, tree, partition, 3.0, congestion_cap=10**6)
+        theorem = build_partial_shortcut(graph, tree, partition, 3.0)
+        assert not greedy.saturated_edges
+        for index in range(len(partition)):
+            assert greedy.shortcut.tree_edge_children[index] == theorem.subgraphs[index]
+
+    @given(graphs_with_partitions(min_nodes=4, max_nodes=30))
+    @settings(max_examples=20, deadline=None)
+    def test_cap_invariant_property(self, graph_and_partition):
+        graph, partition = graph_and_partition
+        tree = bfs_tree(graph, root=0)
+        result = greedy_shortcut(graph, tree, partition, 2.0, congestion_cap=2, rng=0)
+        assert result.shortcut.congestion() <= 2

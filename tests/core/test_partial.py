@@ -1,0 +1,217 @@
+"""Tests for repro.core.partial — the Theorem 3.1 construction.
+
+The key properties verified here, on fixed instances and property-based
+random instances:
+
+* congestion of the produced partial shortcut is strictly below the budget
+  ``c`` (every unmarked edge carries fewer than ``c`` parts);
+* block number of every satisfied part is at most ``block_budget + 1``
+  (conflict degree bounds the marked-edge-rooted blocks; the tree-root
+  component adds at most one);
+* with ``δ`` at the family's analytic bound, at least half the parts are
+  satisfied (case I of the theorem — must hold since δ ≥ δ(G));
+* the marking process is exact: an edge is marked iff at least ``c`` parts
+  reach it from below through unmarked edges.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.bounds import observation26_dilation_bound
+from repro.core.partial import (
+    ancestor_subgraphs,
+    build_partial_shortcut,
+    mark_overcongested_edges,
+)
+from repro.graphs.generators import grid_graph, k_tree, lower_bound_graph
+from repro.graphs.minors import analytic_delta_upper
+from repro.graphs.partition import (
+    Partition,
+    grid_rows_partition,
+    voronoi_partition,
+)
+from repro.graphs.trees import RootedTree, bfs_tree
+from repro.util.errors import ShortcutError
+
+from tests.conftest import graphs_with_partitions
+
+
+class TestMarking:
+    def test_no_marking_with_huge_budget(self, small_grid):
+        tree = bfs_tree(small_grid)
+        partition = grid_rows_partition(small_grid)
+        marked, conflict = mark_overcongested_edges(tree, partition, 10**6)
+        assert not marked
+        assert conflict.num_edge_nodes == 0
+
+    def test_chain_marking_exact(self):
+        # Path graph: 0-1-2-3-4, tree rooted at 0, three singleton parts at
+        # the deep end. With budget 2, the edge above the first node that
+        # accumulates 2 parts gets marked, cutting propagation.
+        import networkx as nx
+
+        graph = nx.path_graph(5)
+        tree = RootedTree(0, {0: None, 1: 0, 2: 1, 3: 2, 4: 3})
+        partition = Partition(graph, [[4], [3], [2]])
+        marked, conflict = mark_overcongested_edges(tree, partition, 2)
+        # S(4)={P0} -> not marked; S(3)={P0,P1} -> edge 3 marked;
+        # S(2)={P2} -> not marked; S(1)={P2} -> not marked.
+        assert marked == {3}
+        assert set(conflict.incidences[3]) == {0, 1}
+
+    def test_marking_resets_propagation(self):
+        import networkx as nx
+
+        graph = nx.path_graph(6)
+        tree = RootedTree(0, {i: i - 1 if i else None for i in range(6)})
+        partition = Partition(graph, [[5], [4], [3], [2]])
+        marked, _ = mark_overcongested_edges(tree, partition, 2)
+        # S(5)={P0}; S(4)={P0,P1} -> mark 4; S(3)={P2}; S(2)={P2,P3} -> mark 2.
+        assert marked == {4, 2}
+
+    def test_rejects_zero_budget(self, small_grid):
+        tree = bfs_tree(small_grid)
+        partition = grid_rows_partition(small_grid)
+        with pytest.raises(ShortcutError):
+            mark_overcongested_edges(tree, partition, 0)
+
+    def test_representative_is_topmost_part_node(self):
+        # Rows crossing a vertical tree path: the stored representative must
+        # be the part node closest to the marked edge, so the connecting
+        # path avoids the part.
+        import networkx as nx
+
+        graph = nx.path_graph(7)
+        tree = RootedTree(0, {i: i - 1 if i else None for i in range(7)})
+        # One part occupying nodes 4,5,6 (deep chain) and two singletons to
+        # force a marking above them.
+        partition = Partition(graph, [[4, 5, 6], [3], [2]])
+        marked, conflict = mark_overcongested_edges(tree, partition, 3)
+        # S(4) = {P0}; S(3)={P0,P1}; S(2)={P0,P1,P2} -> edge 2 marked.
+        assert marked == {2}
+        # Representative of P0 at edge 2 must be node 4 (topmost of P0).
+        assert conflict.incidences[2][0] == 4
+
+
+class TestAncestorSubgraphs:
+    def test_ancestors_to_root_without_marks(self):
+        import networkx as nx
+
+        graph = nx.path_graph(4)
+        tree = RootedTree(0, {0: None, 1: 0, 2: 1, 3: 2})
+        partition = Partition(graph, [[3]])
+        subgraphs = ancestor_subgraphs(tree, partition, frozenset())
+        assert subgraphs[0] == frozenset({3, 2, 1})
+
+    def test_ancestors_stop_at_marked(self):
+        import networkx as nx
+
+        graph = nx.path_graph(4)
+        tree = RootedTree(0, {0: None, 1: 0, 2: 1, 3: 2})
+        partition = Partition(graph, [[3]])
+        subgraphs = ancestor_subgraphs(tree, partition, frozenset({2}))
+        assert subgraphs[0] == frozenset({3})
+
+    def test_marked_part_node_contributes_nothing(self):
+        import networkx as nx
+
+        graph = nx.path_graph(3)
+        tree = RootedTree(0, {0: None, 1: 0, 2: 1})
+        partition = Partition(graph, [[2]])
+        subgraphs = ancestor_subgraphs(tree, partition, frozenset({2}))
+        assert subgraphs[0] == frozenset()
+
+
+class TestBuildPartialShortcut:
+    def test_budgets_follow_paper(self, small_grid):
+        tree = bfs_tree(small_grid)
+        partition = grid_rows_partition(small_grid)
+        result = build_partial_shortcut(small_grid, tree, partition, delta=3.0)
+        assert result.congestion_budget == math.ceil(8 * 3.0 * tree.max_depth)
+        assert result.block_budget == 24
+
+    def test_rejects_nonpositive_delta(self, small_grid):
+        tree = bfs_tree(small_grid)
+        partition = grid_rows_partition(small_grid)
+        with pytest.raises(ShortcutError):
+            build_partial_shortcut(small_grid, tree, partition, delta=0)
+
+    def test_grid_rows_all_satisfied_at_planar_delta(self):
+        graph = grid_graph(15, 15)
+        tree = bfs_tree(graph)
+        partition = grid_rows_partition(graph)
+        result = build_partial_shortcut(graph, tree, partition, delta=3.0)
+        assert result.succeeded
+        assert len(result.satisfied) == len(partition)
+
+    def test_shortcut_congestion_below_budget(self):
+        graph = grid_graph(12, 12)
+        tree = bfs_tree(graph)
+        partition = voronoi_partition(graph, 30, rng=3)
+        result = build_partial_shortcut(graph, tree, partition, delta=3.0)
+        shortcut = result.shortcut()
+        assert shortcut.congestion() < result.congestion_budget
+
+    def test_no_satisfied_parts_raises_on_extract(self, small_grid):
+        tree = bfs_tree(small_grid)
+        partition = grid_rows_partition(small_grid)
+        result = build_partial_shortcut(
+            small_grid, tree, partition, delta=3.0, congestion_budget=1, block_budget=0
+        )
+        if not result.satisfied:
+            with pytest.raises(ShortcutError):
+                result.shortcut()
+
+    def test_forced_case_two_on_lower_bound_graph(self):
+        instance = lower_bound_graph(5, 20)
+        tree = bfs_tree(instance.graph)
+        result = build_partial_shortcut(
+            instance.graph, tree, instance.partition, delta=0.05
+        )
+        assert not result.succeeded
+        # Every unsatisfied part has conflict degree above the block budget.
+        for index in result.unsatisfied:
+            assert result.conflict.part_degrees[index] > result.block_budget
+
+    @given(graphs_with_partitions(min_nodes=4, max_nodes=35))
+    @settings(max_examples=30, deadline=None)
+    def test_theorem31_invariants_property(self, graph_and_partition):
+        """Theorem 3.1 invariants on random graphs at a safe δ.
+
+        Uses δ = max subgraph density bound (degeneracy), which upper-bounds
+        the graph's own density; minor density can exceed degeneracy, so we
+        only check the *unconditional* invariants (congestion and blocks),
+        not case I.
+        """
+        graph, partition = graph_and_partition
+        tree = bfs_tree(graph, root=0)
+        from repro.graphs.properties import degeneracy
+
+        delta = max(1.0, float(degeneracy(graph)))
+        result = build_partial_shortcut(graph, tree, partition, delta=delta)
+        if not result.satisfied:
+            return
+        shortcut = result.shortcut()
+        # Unconditional: congestion strictly below the budget.
+        assert shortcut.congestion() < result.congestion_budget
+        # Unconditional: block number of satisfied parts <= degree + 1.
+        for position, part_index in enumerate(result.satisfied):
+            blocks = shortcut.part_block_number(position)
+            assert blocks <= result.block_budget + 1
+        # Observation 2.6 dilation bound for the satisfied collection.
+        measured = shortcut.dilation(exact=True)
+        bound = observation26_dilation_bound(
+            shortcut.block_number(), tree.max_depth
+        )
+        assert measured <= bound
+
+    def test_k_tree_case_one_at_analytic_delta(self):
+        graph = k_tree(120, 3, rng=7, locality=0.9)
+        tree = bfs_tree(graph)
+        partition = voronoi_partition(graph, 40, rng=8)
+        delta = analytic_delta_upper(graph)
+        result = build_partial_shortcut(graph, tree, partition, delta=delta)
+        # delta >= delta(G), so case I must hold.
+        assert result.succeeded

@@ -1,0 +1,85 @@
+"""Tests for repro.graphs.adjacency."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs.adjacency import (
+    canonical_edge,
+    induces_connected_subgraph,
+    normalize_graph,
+    require_connected,
+    require_nodes_exist,
+)
+from repro.util.errors import GraphStructureError
+
+
+class TestNormalizeGraph:
+    def test_relabels_to_range(self):
+        graph = nx.Graph([("b", "c"), ("a", "b")])
+        normalized = normalize_graph(graph)
+        assert set(normalized.nodes()) == {0, 1, 2}
+        # Sorted labels: a->0, b->1, c->2.
+        assert normalized.has_edge(0, 1)
+        assert normalized.has_edge(1, 2)
+
+    def test_preserves_graph_attrs(self):
+        graph = nx.Graph([(0, 1)])
+        graph.graph["family"] = "test"
+        assert normalize_graph(graph).graph["family"] == "test"
+
+    def test_rejects_directed(self):
+        with pytest.raises(GraphStructureError):
+            normalize_graph(nx.DiGraph([(0, 1)]))
+
+    def test_rejects_self_loops(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 0)
+        with pytest.raises(GraphStructureError):
+            normalize_graph(graph)
+
+    def test_unsortable_labels_fall_back_to_insertion_order(self):
+        graph = nx.Graph([((1, 2), "x")])
+        normalized = normalize_graph(graph)
+        assert set(normalized.nodes()) == {0, 1}
+
+
+class TestCanonicalEdge:
+    def test_orders_endpoints(self):
+        assert canonical_edge(5, 2) == (2, 5)
+        assert canonical_edge(2, 5) == (2, 5)
+
+
+class TestRequire:
+    def test_connected_ok(self):
+        require_connected(nx.path_graph(3))
+
+    def test_connected_rejects_disconnected(self):
+        with pytest.raises(GraphStructureError):
+            require_connected(nx.Graph([(0, 1), (2, 3)]))
+
+    def test_connected_rejects_empty(self):
+        with pytest.raises(GraphStructureError):
+            require_connected(nx.Graph())
+
+    def test_nodes_exist_ok(self):
+        require_nodes_exist(nx.path_graph(3), [0, 2])
+
+    def test_nodes_exist_rejects_missing(self):
+        with pytest.raises(GraphStructureError):
+            require_nodes_exist(nx.path_graph(3), [0, 9])
+
+
+class TestInducesConnected:
+    def test_connected_subset(self):
+        graph = nx.path_graph(5)
+        assert induces_connected_subgraph(graph, {1, 2, 3})
+
+    def test_disconnected_subset(self):
+        graph = nx.path_graph(5)
+        assert not induces_connected_subgraph(graph, {0, 4})
+
+    def test_empty_subset(self):
+        assert not induces_connected_subgraph(nx.path_graph(3), set())
+
+    def test_singleton(self):
+        assert induces_connected_subgraph(nx.path_graph(3), {1})

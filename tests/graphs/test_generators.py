@@ -1,0 +1,199 @@
+"""Tests for the graph family generators."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import (
+    cycle_graph,
+    delaunay_graph,
+    expanded_clique,
+    grid_graph,
+    grid_with_diagonals,
+    k_tree,
+    outerplanar_graph,
+    partial_k_tree,
+    path_graph,
+    planar_with_handles,
+    random_regular_expander,
+    series_parallel_graph,
+    torus_grid,
+    wheel_graph,
+)
+from repro.graphs.generators.genus import genus_delta_upper
+from repro.graphs.properties import diameter
+from repro.util.errors import GraphStructureError
+
+
+class TestGrid:
+    def test_shape(self):
+        graph = grid_graph(4, 3)
+        assert graph.number_of_nodes() == 12
+        assert graph.number_of_edges() == 3 * 3 + 4 * 2  # horizontal + vertical
+
+    def test_diameter(self):
+        assert diameter(grid_graph(6, 2)) == 6
+
+    def test_planar_metadata(self):
+        graph = grid_graph(3, 3)
+        assert graph.graph["delta_upper"] == 3.0
+        assert graph.graph["planar"]
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(GraphStructureError):
+            grid_graph(0, 3)
+
+    def test_diagonals_stay_planar(self):
+        graph = grid_with_diagonals(6, 6, 1.0, rng=1)
+        is_planar, _ = nx.check_planarity(graph)
+        assert is_planar
+        assert graph.number_of_edges() > grid_graph(6, 6).number_of_edges()
+
+    def test_diagonal_probability_zero_is_plain_grid(self):
+        graph = grid_with_diagonals(5, 5, 0.0, rng=1)
+        assert graph.number_of_edges() == grid_graph(5, 5).number_of_edges()
+
+
+class TestDelaunay:
+    def test_planar_and_connected(self):
+        graph = delaunay_graph(60, rng=3)
+        assert nx.is_connected(graph)
+        is_planar, _ = nx.check_planarity(graph)
+        assert is_planar
+
+    def test_rejects_tiny(self):
+        with pytest.raises(GraphStructureError):
+            delaunay_graph(2)
+
+
+class TestGenus:
+    def test_handles_count(self):
+        base_edges = grid_graph(10, 10).number_of_edges()
+        graph = planar_with_handles(10, 10, 7, rng=1)
+        assert graph.number_of_edges() == base_edges + 7
+        assert graph.graph["genus"] == 7
+
+    def test_planted_clique_exists_as_subgraph(self):
+        graph = planar_with_handles(12, 12, 15, rng=2)  # K_6 pattern: 15 edges
+        planted = graph.graph["planted_clique"]
+        assert planted == 6
+
+    def test_zero_handles_is_planar(self):
+        graph = planar_with_handles(5, 5, 0, rng=1)
+        assert graph.graph["planar"]
+
+    def test_delta_upper_scales_with_sqrt_genus(self):
+        assert genus_delta_upper(100) < 2 * genus_delta_upper(25) + 3
+
+    def test_torus(self):
+        graph = torus_grid(5, 5)
+        assert nx.is_connected(graph)
+        assert all(graph.degree(v) == 4 for v in graph)
+        assert graph.graph["genus"] == 1
+
+    def test_torus_rejects_small(self):
+        with pytest.raises(GraphStructureError):
+            torus_grid(2, 5)
+
+    def test_negative_genus_rejected(self):
+        with pytest.raises(GraphStructureError):
+            planar_with_handles(4, 4, -1)
+
+
+class TestTreewidth:
+    def test_k_tree_edge_count(self):
+        n, k = 30, 3
+        graph = k_tree(n, k, rng=1)
+        # K_{k+1} plus k edges per added node.
+        assert graph.number_of_edges() == k * (k + 1) // 2 + (n - k - 1) * k
+        assert nx.is_connected(graph)
+
+    def test_k_tree_delta_metadata(self):
+        assert k_tree(20, 4, rng=1).graph["delta_upper"] == 4.0
+
+    def test_k_tree_density_below_k(self):
+        graph = k_tree(50, 5, rng=2)
+        assert graph.number_of_edges() / graph.number_of_nodes() < 5
+
+    def test_locality_increases_diameter(self):
+        compact = k_tree(200, 2, rng=3, locality=0.0)
+        stretched = k_tree(200, 2, rng=3, locality=1.0)
+        assert diameter(stretched) > diameter(compact)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(GraphStructureError):
+            k_tree(3, 3)
+        with pytest.raises(GraphStructureError):
+            k_tree(10, 0)
+
+    def test_partial_k_tree_connected(self):
+        graph = partial_k_tree(60, 3, keep_probability=0.5, rng=4)
+        assert nx.is_connected(graph)
+        assert graph.number_of_edges() <= k_tree(60, 3, rng=4).number_of_edges()
+
+    def test_partial_keep_one_is_full(self):
+        full = k_tree(25, 2, rng=5)
+        partial = partial_k_tree(25, 2, keep_probability=1.0, rng=5)
+        assert partial.number_of_edges() == full.number_of_edges()
+
+
+class TestMinorFree:
+    def test_expanded_clique_shape(self):
+        graph = expanded_clique(5, 7)
+        assert graph.number_of_nodes() == 35
+        assert nx.is_connected(graph)
+        assert graph.graph["delta_exact"] == 2.0
+
+    def test_expanded_clique_contracts_to_clique(self):
+        r, length = 4, 5
+        graph = expanded_clique(r, length)
+        # Contract each path; the result must be K_r.
+        from repro.graphs.minors import contract_to_minor
+
+        branch_sets = {
+            i: frozenset(range(i * length, (i + 1) * length)) for i in range(r)
+        }
+        witness = contract_to_minor(graph, branch_sets)
+        witness.validate(graph)
+        assert witness.num_edges == r * (r - 1) // 2
+
+    def test_expanded_clique_rejects_bad(self):
+        with pytest.raises(GraphStructureError):
+            expanded_clique(1, 5)
+
+    def test_outerplanar(self):
+        graph = outerplanar_graph(20, rng=1)
+        is_planar, _ = nx.check_planarity(graph)
+        assert is_planar
+        assert nx.is_connected(graph)
+        assert graph.graph["delta_upper"] == 2.0
+
+    def test_series_parallel(self):
+        graph = series_parallel_graph(30, rng=2)
+        assert nx.is_connected(graph)
+        assert graph.number_of_nodes() == 30
+        # K_4-minor-free graphs have at most 2n - 3 edges.
+        assert graph.number_of_edges() <= 2 * 30 - 3
+
+
+class TestClassic:
+    def test_wheel(self):
+        graph = wheel_graph(10)
+        assert diameter(graph) == 2
+        assert graph.degree(0) == 9
+
+    def test_wheel_rejects_tiny(self):
+        with pytest.raises(GraphStructureError):
+            wheel_graph(3)
+
+    def test_path_and_cycle(self):
+        assert path_graph(5).number_of_edges() == 4
+        assert cycle_graph(5).number_of_edges() == 5
+
+    def test_expander_regular_connected(self):
+        graph = random_regular_expander(50, 4, rng=1)
+        assert nx.is_connected(graph)
+        assert all(graph.degree(v) == 4 for v in graph)
+
+    def test_expander_rejects_odd_product(self):
+        with pytest.raises(GraphStructureError):
+            random_regular_expander(5, 3)

@@ -1,0 +1,75 @@
+"""Tests for the Lemma 3.2 lower-bound instance (Figure 3.2)."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import lower_bound_graph
+from repro.util.errors import GraphStructureError
+
+
+class TestConstruction:
+    def test_parameters(self):
+        instance = lower_bound_graph(5, 20)
+        assert instance.delta == 3
+        assert instance.k == (20 - 2) // (3 * 3 - 1)
+        assert instance.depth == instance.k * instance.delta
+
+    def test_node_count(self):
+        instance = lower_bound_graph(5, 20)
+        delta, k, depth = instance.delta, instance.k, instance.depth
+        top = (delta - 1) * k + 1
+        rows = (delta - 1) * depth + 1
+        assert instance.graph.number_of_nodes() == top + rows * rows
+
+    def test_rejects_small_delta(self):
+        with pytest.raises(GraphStructureError):
+            lower_bound_graph(4, 20)
+
+    def test_rejects_small_diameter(self):
+        with pytest.raises(GraphStructureError):
+            lower_bound_graph(6, 14)
+
+    def test_parts_are_rows(self):
+        instance = lower_bound_graph(5, 20)
+        row_length = (instance.delta - 1) * instance.depth + 1
+        assert all(len(part) == row_length for part in instance.partition)
+
+    def test_graph_is_connected(self):
+        instance = lower_bound_graph(5, 20)
+        assert nx.is_connected(instance.graph)
+
+
+class TestVerification:
+    def test_verify_passes(self):
+        instance = lower_bound_graph(5, 20)
+        report = instance.verify(exact_diameter=True)
+        assert report["diameter"] <= 20
+        assert report["reduced_planar"]
+        assert report["green_edges_removed"] == instance.delta * (instance.delta - 1)
+
+    def test_larger_instance_diameter_budget(self):
+        instance = lower_bound_graph(6, 26)
+        report = instance.verify(exact_diameter=False)
+        assert report["diameter"] <= 26
+
+    def test_quality_bounds_same_order(self):
+        instance = lower_bound_graph(7, 32)
+        # True instance bound and the paper's closed form agree within 3x.
+        ratio = instance.quality_lower_bound / instance.paper_form_bound
+        assert 1 / 3 <= ratio <= 3
+
+
+class TestDensityArgument:
+    def test_overall_density_below_budget(self):
+        instance = lower_bound_graph(5, 20)
+        graph = instance.graph
+        density = graph.number_of_edges() / graph.number_of_nodes()
+        assert density < instance.delta_prime
+
+    def test_heuristic_minor_density_below_budget(self):
+        from repro.graphs.minors import greedy_dense_minor
+
+        instance = lower_bound_graph(5, 20)
+        witness = greedy_dense_minor(instance.graph, rng=1)
+        witness.validate(instance.graph)
+        assert witness.density < instance.delta_prime

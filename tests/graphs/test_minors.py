@@ -1,0 +1,171 @@
+"""Tests for repro.graphs.minors."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.generators import (
+    expanded_clique,
+    grid_graph,
+    k_tree,
+    planar_with_handles,
+)
+from repro.graphs.minors import (
+    MinorWitness,
+    analytic_delta_upper,
+    contract_to_minor,
+    delta_lower_bound,
+    greedy_clique_minor,
+    greedy_dense_minor,
+    thomason_upper,
+)
+from repro.util.errors import GraphStructureError
+
+from tests.conftest import connected_graphs
+
+
+class TestMinorWitness:
+    def test_valid_witness(self):
+        graph = nx.path_graph(4)
+        witness = MinorWitness(
+            branch_sets={"a": frozenset({0, 1}), "b": frozenset({2, 3})},
+            minor_edges=frozenset({frozenset(("a", "b"))}),
+        )
+        witness.validate(graph)
+        assert witness.density == 0.5
+
+    def test_rejects_overlapping_sets(self):
+        graph = nx.path_graph(3)
+        witness = MinorWitness(
+            branch_sets={"a": frozenset({0, 1}), "b": frozenset({1, 2})},
+        )
+        with pytest.raises(GraphStructureError):
+            witness.validate(graph)
+
+    def test_rejects_disconnected_set(self):
+        graph = nx.path_graph(4)
+        witness = MinorWitness(branch_sets={"a": frozenset({0, 3})})
+        with pytest.raises(GraphStructureError):
+            witness.validate(graph)
+
+    def test_rejects_unrealized_edge(self):
+        graph = nx.Graph([(0, 1), (2, 3)])
+        witness = MinorWitness(
+            branch_sets={"a": frozenset({0, 1}), "b": frozenset({2, 3})},
+            minor_edges=frozenset({frozenset(("a", "b"))}),
+        )
+        with pytest.raises(GraphStructureError):
+            witness.validate(graph)
+
+    def test_rejects_empty_branch_set(self):
+        graph = nx.path_graph(2)
+        witness = MinorWitness(branch_sets={"a": frozenset()})
+        with pytest.raises(GraphStructureError):
+            witness.validate(graph)
+
+    def test_minor_graph_shape(self):
+        witness = MinorWitness(
+            branch_sets={"a": frozenset({0}), "b": frozenset({1})},
+            minor_edges=frozenset({frozenset(("a", "b"))}),
+        )
+        minor = witness.minor_graph()
+        assert minor.number_of_nodes() == 2
+        assert minor.number_of_edges() == 1
+
+    def test_density_of_empty_minor_raises(self):
+        with pytest.raises(GraphStructureError):
+            _ = MinorWitness(branch_sets={}).density
+
+
+class TestContractToMinor:
+    def test_realizes_all_host_edges(self):
+        graph = nx.cycle_graph(4)
+        witness = contract_to_minor(
+            graph, {"a": frozenset({0, 1}), "b": frozenset({2, 3})}
+        )
+        witness.validate(graph)
+        assert witness.num_edges == 1  # two parallel host edges collapse
+
+
+class TestGreedyDenseMinor:
+    def test_finds_dense_minor_in_expanded_clique(self):
+        graph = expanded_clique(6, 8)
+        witness = greedy_dense_minor(graph, rng=3)
+        witness.validate(graph)
+        # True delta is 2.5; the heuristic must get reasonably close and
+        # never exceed it.
+        assert 1.5 <= witness.density <= 2.5 + 1e-9
+
+    def test_respects_planar_bound_on_grid(self):
+        graph = grid_graph(10, 10)
+        witness = greedy_dense_minor(graph, rng=1)
+        witness.validate(graph)
+        assert witness.density < 3.0
+
+    def test_target_density_short_circuits(self):
+        graph = grid_graph(8, 8)
+        witness = greedy_dense_minor(graph, rng=1, target_density=1.0)
+        assert witness.density > 1.0
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(GraphStructureError):
+            greedy_dense_minor(nx.Graph())
+
+    @given(connected_graphs(min_nodes=3, max_nodes=25))
+    @settings(max_examples=20, deadline=None)
+    def test_witness_always_validates_property(self, graph):
+        witness = greedy_dense_minor(graph, rng=0)
+        witness.validate(graph)
+        assert witness.density >= graph.number_of_edges() / graph.number_of_nodes() - 1e-9 or witness.density > 0
+
+
+class TestGreedyCliqueMinor:
+    def test_finds_planted_clique(self):
+        graph = planar_with_handles(15, 15, 28, rng=2)  # plants K_8
+        witness = greedy_clique_minor(graph, rng=1)
+        witness.validate(graph)
+        assert witness.num_nodes >= graph.graph["planted_clique"] - 1
+
+    def test_k_tree_has_k_plus_one_clique(self):
+        graph = k_tree(40, 4, rng=1)
+        witness = greedy_clique_minor(graph, rng=2)
+        witness.validate(graph)
+        assert witness.num_nodes >= 5  # K_{k+1} subgraph exists
+
+    def test_complete_witness_edges(self):
+        graph = nx.complete_graph(5)
+        witness = greedy_clique_minor(graph, rng=0)
+        r = witness.num_nodes
+        assert witness.num_edges == r * (r - 1) // 2
+        assert r == 5
+
+
+class TestDeltaBounds:
+    def test_lower_bound_with_witness(self):
+        graph = grid_graph(6, 6)
+        bound, witness = delta_lower_bound(graph, rng=1)
+        assert bound == witness.density
+        witness.validate(graph)
+
+    def test_analytic_upper_from_metadata(self):
+        graph = grid_graph(4, 4)
+        assert analytic_delta_upper(graph) == 3.0
+
+    def test_analytic_upper_missing(self):
+        assert analytic_delta_upper(nx.path_graph(3)) is None
+
+    def test_thomason_monotone(self):
+        assert thomason_upper(4) < thomason_upper(8) < thomason_upper(16)
+
+    def test_thomason_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            thomason_upper(1)
+
+    def test_lemma11_sandwich_on_expanded_clique(self):
+        # Lemma 1.1: (r-1)/2 <= delta <= 8 r sqrt(log2 r).
+        r = 6
+        graph = expanded_clique(r, 6)
+        clique = greedy_clique_minor(graph, rng=4)
+        found_r = clique.num_nodes
+        delta_exact = graph.graph["delta_exact"]
+        assert (found_r - 1) / 2 <= delta_exact <= thomason_upper(found_r) + 1e-9

@@ -1,0 +1,97 @@
+"""Tests for repro.graphs.properties."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.generators import cycle_graph, grid_graph, path_graph
+from repro.graphs.properties import (
+    bfs_distances,
+    degeneracy,
+    diameter,
+    diameter_lower_bound,
+    eccentricity,
+    graph_density,
+    random_connected_gnp,
+    subgraph_density_bounds,
+)
+from repro.util.errors import GraphStructureError
+
+from tests.conftest import connected_graphs
+
+
+class TestBfsDistances:
+    def test_path_distances(self):
+        graph = path_graph(5)
+        dist = bfs_distances(graph, 0)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_unknown_source(self):
+        with pytest.raises(GraphStructureError):
+            bfs_distances(path_graph(3), 99)
+
+
+class TestDiameter:
+    def test_grid_diameter(self):
+        assert diameter(grid_graph(5, 4)) == 5 + 4 - 2
+
+    def test_cycle_diameter(self):
+        assert diameter(cycle_graph(10)) == 5
+
+    def test_single_node(self):
+        assert diameter(path_graph(1)) == 0
+
+    def test_disconnected_raises(self):
+        graph = nx.Graph([(0, 1), (2, 3)])
+        with pytest.raises(GraphStructureError):
+            diameter(graph)
+
+    def test_double_sweep_exact_on_paths(self):
+        assert diameter_lower_bound(path_graph(17)) == 16
+
+    @given(connected_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_double_sweep_is_lower_bound_property(self, graph):
+        assert diameter_lower_bound(graph) <= diameter(graph)
+
+    def test_eccentricity_center_of_path(self):
+        assert eccentricity(path_graph(5), 2) == 2
+
+
+class TestDensityAndDegeneracy:
+    def test_tree_degeneracy_is_one(self):
+        assert degeneracy(path_graph(10)) == 1
+
+    def test_grid_degeneracy_is_two(self):
+        assert degeneracy(grid_graph(5, 5)) == 2
+
+    def test_complete_graph_degeneracy(self):
+        assert degeneracy(nx.complete_graph(6)) == 5
+
+    def test_empty_graph_degeneracy(self):
+        assert degeneracy(nx.Graph()) == 0
+
+    def test_density_of_cycle_is_one(self):
+        assert graph_density(cycle_graph(8)) == 1.0
+
+    def test_density_empty_raises(self):
+        with pytest.raises(GraphStructureError):
+            graph_density(nx.Graph())
+
+    @given(connected_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_density_bounds_sandwich_property(self, graph):
+        lower, upper = subgraph_density_bounds(graph)
+        assert lower <= upper + 1e-9
+        assert graph_density(graph) <= upper
+
+
+class TestRandomConnectedGnp:
+    def test_connected(self):
+        graph = random_connected_gnp(30, 0.1, rng=5)
+        assert nx.is_connected(graph)
+
+    def test_sparse_gets_patched_eventually(self):
+        graph = random_connected_gnp(40, 0.0, rng=5, max_tries=2)
+        assert nx.is_connected(graph)
+        assert graph.graph["patched"]

@@ -1,0 +1,144 @@
+"""Tests for repro.graphs.trees."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.generators import grid_graph
+from repro.graphs.properties import eccentricity
+from repro.graphs.trees import RootedTree, bfs_tree
+from repro.util.errors import GraphStructureError
+
+from tests.conftest import connected_graphs
+
+
+class TestRootedTreeConstruction:
+    def test_single_node(self):
+        tree = RootedTree(0, {0: None})
+        assert tree.root == 0
+        assert tree.max_depth == 0
+        assert len(tree) == 1
+
+    def test_path_tree(self):
+        tree = RootedTree(0, {0: None, 1: 0, 2: 1, 3: 2})
+        assert tree.max_depth == 3
+        assert tree.depth_of(3) == 3
+        assert tree.parent_of(2) == 1
+        assert tree.children_of(0) == (1,)
+
+    def test_rejects_missing_root(self):
+        with pytest.raises(GraphStructureError):
+            RootedTree(9, {0: None})
+
+    def test_rejects_root_with_parent(self):
+        with pytest.raises(GraphStructureError):
+            RootedTree(0, {0: 1, 1: None})
+
+    def test_rejects_cycle(self):
+        with pytest.raises(GraphStructureError):
+            RootedTree(0, {0: None, 1: 2, 2: 1})
+
+    def test_rejects_non_root_none_parent(self):
+        with pytest.raises(GraphStructureError):
+            RootedTree(0, {0: None, 1: None})
+
+    def test_rejects_unknown_parent(self):
+        with pytest.raises(GraphStructureError):
+            RootedTree(0, {0: None, 1: 42})
+
+
+class TestTreeEdges:
+    def test_edge_children_excludes_root(self):
+        tree = RootedTree(0, {0: None, 1: 0, 2: 0})
+        assert set(tree.edge_children()) == {1, 2}
+
+    def test_decreasing_depth_order(self):
+        tree = RootedTree(0, {0: None, 1: 0, 2: 1, 3: 2})
+        depths = [tree.depth_of(child) for child in tree.edge_children_by_decreasing_depth()]
+        assert depths == sorted(depths, reverse=True)
+
+    def test_edge_endpoints(self):
+        tree = RootedTree(0, {0: None, 1: 0})
+        assert tree.edge_endpoints(1) == (0, 1)
+
+    def test_edge_endpoints_rejects_root(self):
+        tree = RootedTree(0, {0: None, 1: 0})
+        with pytest.raises(GraphStructureError):
+            tree.edge_endpoints(0)
+
+
+class TestAncestorWalks:
+    @pytest.fixture
+    def chain(self):
+        return RootedTree(0, {0: None, 1: 0, 2: 1, 3: 2, 4: 3})
+
+    def test_path_up_to_root(self, chain):
+        assert chain.path_up(4) == [4, 3, 2, 1, 0]
+
+    def test_path_up_stops_at_removed_edge(self, chain):
+        # Removing edge with child 2 makes node 2 the component root of {2,3,4}.
+        assert chain.path_up(4, stop_edges={2}) == [4, 3, 2]
+
+    def test_path_up_from_removed_node_is_itself(self, chain):
+        assert chain.path_up(2, stop_edges={2}) == [2]
+
+    def test_ancestor_edges(self, chain):
+        assert chain.ancestor_edges(3) == [3, 2, 1]
+
+    def test_ancestor_edges_with_stop(self, chain):
+        assert chain.ancestor_edges(4, stop_edges={2}) == [4, 3]
+
+    def test_component_root(self, chain):
+        assert chain.component_root(4) == 0
+        assert chain.component_root(4, removed_edges={3}) == 3
+
+    def test_is_ancestor(self, chain):
+        assert chain.is_ancestor(0, 4)
+        assert chain.is_ancestor(4, 4)
+        assert not chain.is_ancestor(4, 0)
+
+    def test_subtree_nodes(self, chain):
+        assert set(chain.subtree_nodes(2)) == {2, 3, 4}
+        assert set(chain.subtree_nodes(0)) == {0, 1, 2, 3, 4}
+
+
+class TestBfsTree:
+    def test_spans_grid(self):
+        graph = grid_graph(5, 4)
+        tree = bfs_tree(graph)
+        assert len(tree) == 20
+        tree.validate_on(graph)
+
+    def test_depth_equals_root_eccentricity(self):
+        graph = grid_graph(7, 3)
+        tree = bfs_tree(graph, root=0)
+        assert tree.max_depth == eccentricity(graph, 0)
+
+    def test_default_root_is_min_label(self):
+        graph = grid_graph(3, 3)
+        assert bfs_tree(graph).root == 0
+
+    def test_rejects_disconnected(self):
+        graph = nx.Graph([(0, 1), (2, 3)])
+        with pytest.raises(GraphStructureError):
+            bfs_tree(graph)
+
+    def test_rejects_missing_root(self):
+        graph = grid_graph(2, 2)
+        with pytest.raises(GraphStructureError):
+            bfs_tree(graph, root=99)
+
+    def test_rejects_empty(self):
+        with pytest.raises(GraphStructureError):
+            bfs_tree(nx.Graph())
+
+    @given(connected_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_bfs_depth_at_most_diameter_property(self, graph):
+        # BFS-tree depth equals the root's eccentricity <= diameter.
+        tree = bfs_tree(graph, root=0)
+        assert tree.max_depth == eccentricity(graph, 0)
+        tree.validate_on(graph)
+        # Depth along the tree can only exceed or match the BFS distance.
+        for node in tree.nodes():
+            assert tree.depth_of(node) <= graph.number_of_nodes()

@@ -1,0 +1,180 @@
+"""Tests for the packet-level part-wise aggregation engine."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import bfs_tree_shortcut, build_full_shortcut
+from repro.core.shortcut import Shortcut
+from repro.graphs.generators import grid_graph, wheel_graph
+from repro.graphs.partition import Partition, grid_rows_partition, voronoi_partition
+from repro.graphs.trees import bfs_tree
+from repro.sched import partwise_aggregate
+from repro.sched.partwise import plan_routing_trees
+from repro.util.errors import ShortcutError
+
+from tests.conftest import graphs_with_partitions
+
+
+class TestPlanning:
+    def test_routing_tree_spans_communication_graph(self, small_grid):
+        partition = Partition(small_grid, [[0, 1, 2]])
+        shortcut = Shortcut(small_grid, partition, [[(2, 3)]])
+        plans = plan_routing_trees(small_grid, partition, shortcut)
+        assert set(plans[0].parent) == {0, 1, 2, 3}
+        assert plans[0].root == 0
+
+    def test_disconnected_raises(self, small_grid):
+        partition = Partition(small_grid, [[0, 1]])
+        shortcut = Shortcut(small_grid, partition, [[(34, 35)]])
+        with pytest.raises(ShortcutError):
+            plan_routing_trees(small_grid, partition, shortcut)
+
+
+class TestAggregationCorrectness:
+    def test_sum_per_part(self, small_grid):
+        partition = voronoi_partition(small_grid, 4, rng=1)
+        tree = bfs_tree(small_grid)
+        shortcut = build_full_shortcut(small_grid, tree, partition, delta=3.0).shortcut
+        result = partwise_aggregate(
+            small_grid, partition, shortcut,
+            {v: 1 for v in small_grid.nodes()}, lambda a, b: a + b, rng=2,
+        )
+        assert not result.incomplete
+        for index, part in enumerate(partition):
+            assert result.values[index] == len(part)
+
+    def test_min_per_part(self, small_grid):
+        partition = voronoi_partition(small_grid, 3, rng=3)
+        tree = bfs_tree(small_grid)
+        shortcut = build_full_shortcut(small_grid, tree, partition, delta=3.0).shortcut
+        result = partwise_aggregate(
+            small_grid, partition, shortcut,
+            {v: v for v in small_grid.nodes()}, min, rng=4,
+        )
+        for index, part in enumerate(partition):
+            assert result.values[index] == min(part)
+
+    def test_steiner_nodes_do_not_pollute_aggregate(self, small_grid):
+        # A part routed through non-part nodes: those contribute None.
+        partition = Partition(small_grid, [[0, 1]])
+        tree = bfs_tree(small_grid)
+        shortcut = build_full_shortcut(small_grid, tree, partition, delta=3.0).shortcut
+        result = partwise_aggregate(
+            small_grid, partition, shortcut, {0: 5, 1: 7}, lambda a, b: a + b, rng=1,
+        )
+        assert result.values[0] == 12
+
+    def test_missing_values_are_skipped(self, small_grid):
+        partition = Partition(small_grid, [[0, 1, 2]])
+        shortcut = Shortcut(small_grid, partition, [[]])
+        result = partwise_aggregate(
+            small_grid, partition, shortcut, {1: 3}, lambda a, b: a + b, rng=1,
+        )
+        assert result.values[0] == 3
+
+    def test_singleton_parts_complete_instantly(self, small_grid):
+        partition = Partition(small_grid, [[0], [35]])
+        shortcut = Shortcut(small_grid, partition, [[], []])
+        result = partwise_aggregate(
+            small_grid, partition, shortcut, {0: 1, 35: 2}, min, rng=1,
+        )
+        assert result.values == {0: 1, 1: 2}
+        assert result.stats.rounds <= 1
+
+    @given(graphs_with_partitions(min_nodes=3, max_nodes=25))
+    @settings(max_examples=20, deadline=None)
+    def test_aggregates_match_reference_property(self, graph_and_partition):
+        graph, partition = graph_and_partition
+        tree = bfs_tree(graph, root=0)
+        from repro.core.full import adaptive_full_shortcut
+
+        shortcut = adaptive_full_shortcut(graph, tree, partition).shortcut
+        values = {v: v * v for v in graph.nodes()}
+        result = partwise_aggregate(
+            graph, partition, shortcut, values, lambda a, b: a + b, rng=0,
+        )
+        assert not result.incomplete
+        for index, part in enumerate(partition):
+            assert result.values[index] == sum(values[v] for v in part)
+
+
+class TestSchedulingBehaviour:
+    def test_wheel_speedup(self):
+        n = 81
+        graph = wheel_graph(n)
+        rim = list(range(1, n))
+        partition = Partition(graph, [rim])
+        no_shortcut = Shortcut(graph, partition, [[]])
+        with_spokes = Shortcut(graph, partition, [[(0, v) for v in rim]])
+        slow = partwise_aggregate(
+            graph, partition, no_shortcut, {v: v for v in rim}, min, rng=1,
+        )
+        fast = partwise_aggregate(
+            graph, partition, with_spokes, {v: v for v in rim}, min, rng=1,
+        )
+        assert slow.stats.rounds >= (n - 1) // 2
+        assert fast.stats.rounds <= 8
+
+    def test_rounds_within_lmr_bound(self):
+        graph = grid_graph(12, 12)
+        partition = grid_rows_partition(graph)
+        tree = bfs_tree(graph)
+        shortcut = build_full_shortcut(graph, tree, partition, delta=3.0).shortcut
+        result = partwise_aggregate(
+            graph, partition, shortcut, {v: 1 for v in graph.nodes()},
+            lambda a, b: a + b, rng=5,
+        )
+        c = result.max_edge_load
+        d = result.max_tree_depth
+        n = graph.number_of_nodes()
+        # O(c + d log n) with a generous constant.
+        assert result.stats.rounds <= 8 * (c + (d + 1) * (2 + math.log2(n)))
+
+    def test_delay_modes(self):
+        graph = grid_graph(8, 8)
+        partition = grid_rows_partition(graph)
+        tree = bfs_tree(graph)
+        shortcut = build_full_shortcut(graph, tree, partition, delta=3.0).shortcut
+        values = {v: 1 for v in graph.nodes()}
+        for mode in ("random", "zero", "sequential"):
+            result = partwise_aggregate(
+                graph, partition, shortcut, values, lambda a, b: a + b,
+                rng=1, delay_mode=mode,
+            )
+            assert not result.incomplete
+        with pytest.raises(ShortcutError):
+            partwise_aggregate(
+                graph, partition, shortcut, values, lambda a, b: a + b,
+                rng=1, delay_mode="bogus",
+            )
+
+    def test_sequential_slower_than_random(self):
+        graph = grid_graph(10, 10)
+        partition = grid_rows_partition(graph)
+        tree = bfs_tree(graph)
+        shortcut = build_full_shortcut(graph, tree, partition, delta=3.0).shortcut
+        values = {v: 1 for v in graph.nodes()}
+        random_mode = partwise_aggregate(
+            graph, partition, shortcut, values, lambda a, b: a + b,
+            rng=1, delay_mode="random",
+        )
+        sequential = partwise_aggregate(
+            graph, partition, shortcut, values, lambda a, b: a + b,
+            rng=1, delay_mode="sequential",
+        )
+        assert random_mode.stats.rounds <= sequential.stats.rounds
+
+    def test_max_rounds_cutoff_reports_incomplete(self):
+        n = 81
+        graph = wheel_graph(n)
+        rim = list(range(1, n))
+        partition = Partition(graph, [rim])
+        no_shortcut = Shortcut(graph, partition, [[]])
+        result = partwise_aggregate(
+            graph, partition, no_shortcut, {v: v for v in rim}, min,
+            rng=1, max_rounds=5,
+        )
+        assert result.incomplete == (0,)
+        assert 0 not in result.values

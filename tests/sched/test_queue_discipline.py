@@ -1,0 +1,53 @@
+"""Tests for the scheduler's queue-discipline knob."""
+
+import pytest
+
+from repro.core.full import build_full_shortcut
+from repro.graphs.generators import grid_graph
+from repro.graphs.partition import grid_rows_partition
+from repro.graphs.trees import bfs_tree
+from repro.sched import partwise_aggregate
+from repro.util.errors import ShortcutError
+
+
+@pytest.fixture(scope="module")
+def instance():
+    graph = grid_graph(10, 10)
+    partition = grid_rows_partition(graph)
+    tree = bfs_tree(graph)
+    shortcut = build_full_shortcut(graph, tree, partition, 3.0).shortcut
+    return graph, partition, shortcut
+
+
+class TestQueueDiscipline:
+    def test_fifo_and_random_same_results(self, instance):
+        graph, partition, shortcut = instance
+        values = {v: v for v in graph.nodes()}
+        fifo = partwise_aggregate(
+            graph, partition, shortcut, values, min, rng=1, queue_discipline="fifo"
+        )
+        randomized = partwise_aggregate(
+            graph, partition, shortcut, values, min, rng=1, queue_discipline="random"
+        )
+        assert fifo.values == randomized.values
+        assert not fifo.incomplete and not randomized.incomplete
+
+    def test_random_discipline_within_lmr_bound(self, instance):
+        import math
+
+        graph, partition, shortcut = instance
+        values = {v: 1 for v in graph.nodes()}
+        result = partwise_aggregate(
+            graph, partition, shortcut, values, lambda a, b: a + b,
+            rng=2, queue_discipline="random",
+        )
+        c, d = result.max_edge_load, result.max_tree_depth
+        n = graph.number_of_nodes()
+        assert result.stats.rounds <= 8 * (c + (d + 1) * (2 + math.log2(n)))
+
+    def test_unknown_discipline_rejected(self, instance):
+        graph, partition, shortcut = instance
+        with pytest.raises(ShortcutError):
+            partwise_aggregate(
+                graph, partition, shortcut, {}, min, queue_discipline="lifo"
+            )

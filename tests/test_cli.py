@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestQuality:
+    def test_grid_quality(self, capsys):
+        code = main(["quality", "--family", "grid", "--width", "8", "--height", "8",
+                     "--parts", "8", "--delta", "3", "--fast"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ALL BOUNDS HOLD" in out
+
+    def test_adaptive_without_delta(self, capsys):
+        code = main(["quality", "--family", "hypercube", "--dimension", "4",
+                     "--parts", "4", "--fast"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "adaptive" in out
+
+    def test_unknown_family(self):
+        with pytest.raises(SystemExit):
+            main(["quality", "--family", "nonsense"])
+
+
+class TestLowerBound:
+    def test_default_instance(self, capsys):
+        code = main(["lowerbound", "--delta-prime", "5", "--diameter-prime", "20",
+                     "--fast"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "measured quality" in out
+
+
+class TestMst:
+    def test_ktree_mst(self, capsys):
+        code = main(["mst", "--family", "ktree", "--n", "64", "--k", "2",
+                     "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "identical MSTs: True" in out
+
+
+class TestCertify:
+    def test_grid_certify(self, capsys):
+        code = main(["certify", "--family", "grid", "--width", "8", "--height", "8",
+                     "--parts", "8", "--initial-delta", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "case I" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,54 @@
+"""Tests for repro.util.bitsize."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitsize import bits_for_int, payload_bits
+
+
+class TestBitsForInt:
+    def test_zero_costs_one_bit(self):
+        assert bits_for_int(0) == 1
+
+    def test_small_values(self):
+        assert bits_for_int(1) == 1
+        assert bits_for_int(2) == 2
+        assert bits_for_int(255) == 8
+        assert bits_for_int(256) == 9
+
+    def test_negative_costs_sign_bit(self):
+        assert bits_for_int(-1) == bits_for_int(1) + 1
+
+    @given(st.integers(min_value=1, max_value=2**62))
+    def test_monotone_in_magnitude(self, value):
+        assert bits_for_int(value) <= bits_for_int(2 * value)
+
+
+class TestPayloadBits:
+    def test_none_is_one_bit(self):
+        assert payload_bits(None) == 1
+
+    def test_bool_is_one_bit(self):
+        assert payload_bits(True) == 1
+
+    def test_float_is_64_bits(self):
+        assert payload_bits(1.5) == 64
+
+    def test_string_costs_eight_bits_per_char(self):
+        assert payload_bits("abc") == 24
+
+    def test_tuple_sums_fields_plus_overhead(self):
+        flat = payload_bits((1, 2))
+        assert flat == bits_for_int(1) + bits_for_int(2) + 2 * 2
+
+    def test_nested_tuples(self):
+        assert payload_bits(((1,),)) > payload_bits((1,))
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            payload_bits({"a": 1})
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**40), max_size=8))
+    def test_list_size_grows_with_content(self, values):
+        assert payload_bits(values) >= len(values)
