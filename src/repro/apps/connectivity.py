@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 import networkx as nx
 
+from repro.congest.network import validate_scheduler
 from repro.congest.stats import RoundStats
 from repro.core.baseline import bfs_tree_shortcut
 from repro.core.full import build_full_shortcut
@@ -64,8 +65,10 @@ def subgraph_components(
     graph: nx.Graph,
     subgraph_edges: set[Edge],
     shortcut_method: str = "theorem31",
+    construction: str = "centralized",
     delta: float | None = None,
     rng: int | random.Random | None = None,
+    scheduler: str = "event",
 ) -> ConnectivityResult:
     """Connected components of ``(V, subgraph_edges)`` in the CONGEST model.
 
@@ -73,7 +76,12 @@ def subgraph_components(
         graph: the communication graph ``G``.
         subgraph_edges: edges of ``H`` (must all be edges of ``G``).
         shortcut_method: ``"theorem31"`` or ``"baseline"``.
+        construction: ``"centralized"`` (per-phase shortcuts planned for
+            free) or ``"simulated"`` (each phase's shortcut is built by the
+            measured Theorem 1.5 distributed pipeline).
         delta: minor-density parameter for the shortcut construction.
+        scheduler: simulator scheduler for the simulated construction
+            (``"event"`` or ``"dense"``; see :mod:`repro.congest`).
 
     Raises:
         GraphStructureError: if some subgraph edge is not a ``G`` edge.
@@ -81,6 +89,9 @@ def subgraph_components(
     """
     if shortcut_method not in ("theorem31", "baseline"):
         raise ShortcutError(f"unknown shortcut_method {shortcut_method!r}")
+    if construction not in ("centralized", "simulated"):
+        raise ShortcutError(f"unknown construction {construction!r}")
+    validate_scheduler(scheduler, ShortcutError)
     rng = ensure_rng(rng)
     normalized: set[Edge] = set()
     for u, v in subgraph_edges:
@@ -131,7 +142,7 @@ def subgraph_components(
             break
 
         shortcut, build_stats = _phase_shortcut(
-            graph, tree, partition, shortcut_method, delta
+            graph, tree, partition, shortcut_method, construction, delta, rng, scheduler
         )
         phase_stats = phase_stats + build_stats
         aggregation = partwise_aggregate(
@@ -173,10 +184,17 @@ def subgraph_components(
     )
 
 
-def _phase_shortcut(graph, tree, partition, method, delta):
+def _phase_shortcut(graph, tree, partition, method, construction, delta, rng, scheduler):
     if method == "baseline":
         return bfs_tree_shortcut(graph, partition, tree=tree), RoundStats(
             rounds=tree.max_depth + 1
+        )
+    if construction == "simulated":
+        from repro.apps.mst import _build_shortcut  # shared Obs 2.7 driver
+
+        return _build_shortcut(
+            graph, tree, partition, "theorem31", "simulated", delta, rng,
+            scheduler=scheduler,
         )
     result = build_full_shortcut(graph, tree, partition, delta, escalate_on_stall=True)
     return result.shortcut, RoundStats()

@@ -35,10 +35,11 @@ from dataclasses import dataclass
 import networkx as nx
 
 from repro.apps.mst import distributed_mst
+from repro.congest.network import validate_scheduler
 from repro.congest.stats import RoundStats
 from repro.graphs.adjacency import canonical_edge
 from repro.graphs.trees import RootedTree
-from repro.util.errors import GraphStructureError
+from repro.util.errors import GraphStructureError, ShortcutError
 from repro.util.rng import ensure_rng
 
 __all__ = ["MinCutResult", "distributed_mincut", "degree_bound_from_density"]
@@ -82,6 +83,8 @@ def distributed_mincut(
     rng: int | random.Random | None = None,
     two_respecting: bool | None = None,
     shortcut_method: str = "theorem31",
+    construction: str = "centralized",
+    scheduler: str = "event",
 ) -> MinCutResult:
     """Unweighted min cut (edge connectivity) with measured round accounting.
 
@@ -94,10 +97,15 @@ def distributed_mincut(
         two_respecting: run the 2-respecting sweep; defaults to
             ``n <= 400``.
         shortcut_method: forwarded to :func:`repro.apps.mst.distributed_mst`.
+        construction: forwarded to :func:`repro.apps.mst.distributed_mst`
+            (``"centralized"`` or ``"simulated"``).
+        scheduler: simulator scheduler for the simulated construction
+            (``"event"`` or ``"dense"``; see :mod:`repro.congest`).
 
     Raises:
         GraphStructureError: if the graph is disconnected or has < 2 nodes.
     """
+    validate_scheduler(scheduler, ShortcutError)
     if graph.number_of_nodes() < 2:
         raise GraphStructureError("min cut needs at least 2 nodes")
     if not nx.is_connected(graph):
@@ -126,8 +134,10 @@ def distributed_mincut(
             graph,
             weights=dict(loads),
             shortcut_method=shortcut_method,
+            construction=construction,
             delta=delta,
             rng=rng,
+            scheduler=scheduler,
         )
         stats.add_phase(f"tree_{index}", mst.stats)
         for edge in mst.edges:

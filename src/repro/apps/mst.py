@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 import networkx as nx
 
+from repro.congest.network import validate_scheduler
 from repro.congest.stats import RoundStats
 from repro.core.baseline import bfs_tree_shortcut
 from repro.core.full import build_full_shortcut
@@ -89,6 +90,7 @@ def distributed_mst(
     delta: float | None = None,
     rng: int | random.Random | None = None,
     max_phases: int | None = None,
+    scheduler: str = "event",
 ) -> MstResult:
     """Compute the MST with measured CONGEST round accounting.
 
@@ -107,6 +109,8 @@ def distributed_mst(
             generator's analytic bound or, failing that, the graph's
             degeneracy.
         max_phases: safety cap (default ``2·ceil(log2 n) + 4``).
+        scheduler: simulator scheduler for the ``"simulated"`` construction
+            (``"event"`` or ``"dense"``; see :mod:`repro.congest`).
 
     Raises:
         GraphStructureError: disconnected input or non-integer weights.
@@ -130,6 +134,7 @@ def distributed_mst(
         raise ShortcutError(f"unknown shortcut_method {shortcut_method!r}")
     if construction not in ("centralized", "simulated"):
         raise ShortcutError(f"unknown construction {construction!r}")
+    validate_scheduler(scheduler, ShortcutError)
     if delta is None:
         from repro.graphs.minors import analytic_delta_upper
         from repro.graphs.properties import degeneracy
@@ -165,7 +170,8 @@ def distributed_mst(
 
         # Step 2: shortcut for the current fragments.
         shortcut, construction_stats = _build_shortcut(
-            graph, tree, partition, shortcut_method, construction, delta, rng
+            graph, tree, partition, shortcut_method, construction, delta, rng,
+            scheduler=scheduler,
         )
         phase_stats = phase_stats + construction_stats
 
@@ -224,6 +230,7 @@ def _build_shortcut(
     construction: str,
     delta: float,
     rng: random.Random,
+    scheduler: str = "event",
 ) -> tuple[Shortcut, RoundStats]:
     if method == "baseline":
         shortcut = bfs_tree_shortcut(graph, partition, tree=tree)
@@ -248,7 +255,8 @@ def _build_shortcut(
     while remaining:
         sub = partition.restrict(graph, remaining)
         result = distributed_partial_shortcut(
-            graph, sub, current_delta, rng=rng, run_verification=False
+            graph, sub, current_delta, rng=rng, run_verification=False,
+            scheduler=scheduler,
         )
         total = total + result.stats
         final_tree = result.tree

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import networkx as nx
 
+from repro.congest.network import validate_scheduler
 from repro.congest.stats import RoundStats
 from repro.core.baseline import bfs_tree_shortcut
 from repro.core.full import build_full_shortcut
@@ -64,6 +65,7 @@ def _construct_shortcut(
     construction: str,
     delta: float | None,
     rng: random.Random,
+    scheduler: str = "event",
 ) -> tuple[Shortcut, RoundStats]:
     if method == "none":
         return Shortcut(graph, partition, [[] for _ in partition]), RoundStats()
@@ -90,7 +92,8 @@ def _construct_shortcut(
 
     tree = bfs_tree(graph)
     return _build_shortcut(
-        graph, tree, partition, "theorem31", "simulated", delta, rng
+        graph, tree, partition, "theorem31", "simulated", delta, rng,
+        scheduler=scheduler,
     )
 
 
@@ -103,6 +106,7 @@ def solve_partwise_aggregation(
     construction: str = "centralized",
     delta: float | None = None,
     rng: int | random.Random | None = None,
+    scheduler: str = "event",
 ) -> PartwiseSolution:
     """Solve Definition 2.1's aggregation variant end to end.
 
@@ -115,14 +119,18 @@ def solve_partwise_aggregation(
         construction: ``"centralized"`` (free planning) or ``"simulated"``
             (measured Theorem 1.5 pipeline rounds included).
         delta: minor-density parameter; default analytic-or-degeneracy.
+        scheduler: simulator scheduler for the simulated construction
+            (``"event"`` or ``"dense"``; see :mod:`repro.congest`).
 
     Raises:
         ShortcutError: unknown method/construction, or an aggregation that
             cannot complete (disconnected ``G[P_i] + H_i``).
     """
+    validate_scheduler(scheduler, ShortcutError)
     rng = ensure_rng(rng)
     shortcut, construction_stats = _construct_shortcut(
-        graph, partition, shortcut_method, construction, delta, rng
+        graph, partition, shortcut_method, construction, delta, rng,
+        scheduler=scheduler,
     )
     result = partwise_aggregate(graph, partition, shortcut, values, combine, rng=rng)
     if result.incomplete:
@@ -146,6 +154,7 @@ def solve_partwise_multicast(
     construction: str = "centralized",
     delta: float | None = None,
     rng: int | random.Random | None = None,
+    scheduler: str = "event",
 ) -> PartwiseSolution:
     """Definition 2.1's multicast variant: one message per part, to all members.
 
@@ -181,6 +190,7 @@ def solve_partwise_multicast(
         construction=construction,
         delta=delta,
         rng=rng,
+        scheduler=scheduler,
     )
     solution.values = {index: value[1] for index, value in solution.values.items()}
     return solution

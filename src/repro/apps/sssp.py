@@ -34,11 +34,12 @@ def distributed_bfs_sssp(
     graph: nx.Graph,
     source: int,
     rng: int | random.Random | None = None,
+    scheduler: str = "event",
 ) -> tuple[dict[int, int], RoundStats]:
     """Unweighted SSSP = distributed BFS; returns hop distances and stats."""
     from repro.congest.primitives.bfs import distributed_bfs
 
-    tree, stats = distributed_bfs(graph, source, rng=rng)
+    tree, stats = distributed_bfs(graph, source, rng=rng, scheduler=scheduler)
     return {v: tree.depth_of(v) for v in graph.nodes()}, stats
 
 
@@ -84,6 +85,7 @@ def bellman_ford_sssp(
     weights: dict[Edge, int] | None = None,
     max_hops: int | None = None,
     rng: int | random.Random | None = None,
+    scheduler: str = "event",
 ) -> tuple[dict[int, int | None], RoundStats]:
     """Synchronous Bellman–Ford from ``source``.
 
@@ -109,7 +111,7 @@ def bellman_ford_sssp(
             raise GraphStructureError(
                 f"weights must be nonnegative integers; {edge} has {weight!r}"
             )
-    network = SyncNetwork(graph, rng=rng)
+    network = SyncNetwork(graph, rng=rng, scheduler=scheduler)
     algorithms = {
         v: _BellmanFordNode(v, v == source, weights, max_hops) for v in graph.nodes()
     }
@@ -124,6 +126,7 @@ def approx_sssp(
     epsilon: float,
     hop_bound: int,
     rng: int | random.Random | None = None,
+    scheduler: str = "event",
 ) -> tuple[dict[int, int | None], RoundStats]:
     """(1+ε)-approximate SSSP for paths of at most ``hop_bound`` hops.
 
@@ -167,7 +170,7 @@ def approx_sssp(
     }
     rescaled = {edge: int(value) for edge, value in rescaled.items()}
     distances, stats = bellman_ford_sssp(
-        graph, source, rescaled, max_hops=hop_bound, rng=rng
+        graph, source, rescaled, max_hops=hop_bound, rng=rng, scheduler=scheduler
     )
     upscaled = {
         v: (None if d is None else int(d * mu) if v != source else 0)

@@ -9,6 +9,23 @@ One :class:`SyncNetwork` wraps a graph and executes a dictionary of
 * the run stops at quiescence (no messages in flight, no node keep-alive)
   or at ``max_rounds``.
 
+Two schedulers implement those semantics:
+
+* ``"event"`` (default) — the event-driven *active-set* scheduler.  Per
+  round, only nodes with a non-empty inbox or a raised keep-alive latch
+  are activated (via :meth:`~repro.congest.node.NodeAlgorithm.on_wake`,
+  which defaults to ``on_round``); quiescence falls out of an empty active
+  set.  A silent node simply observes nothing — exactly what it would have
+  observed under lockstep — so results, round counts, and message counts
+  are identical to the dense scheduler, but total node activations are
+  ``O(total messages + keep-alives)`` instead of ``O(n * rounds)``.  On
+  thin-frontier workloads (BFS waves, sparse floods) this is the
+  difference between ``O(m)`` and ``O(n * D)`` simulator work.
+* ``"dense"`` — the seed lockstep loop: ``on_round`` on every node every
+  round.  Kept as the reference semantics for equivalence testing and for
+  exotic algorithms that act spontaneously on empty inboxes without
+  latching keep-alive (none in this library).
+
 The per-message budget defaults to ``BANDWIDTH_FACTOR * ceil(log2 n)`` bits
 — the constant in CONGEST's ``O(log n)`` is arbitrary, but fixing one keeps
 algorithms honest: anything that tries to ship a whole subtree in one round
@@ -28,12 +45,35 @@ from repro.util.bitsize import payload_bits
 from repro.util.errors import CongestViolation, GraphStructureError
 from repro.util.rng import ensure_rng
 
-__all__ = ["SyncNetwork", "NodeContext", "BANDWIDTH_FACTOR"]
+__all__ = [
+    "SyncNetwork",
+    "NodeContext",
+    "BANDWIDTH_FACTOR",
+    "SCHEDULERS",
+    "validate_scheduler",
+]
 
 # Messages may carry up to BANDWIDTH_FACTOR * ceil(log2 n) bits. A small
 # constant number of node ids / counters per message, as used by every
 # algorithm in this library, fits comfortably.
 BANDWIDTH_FACTOR = 8
+
+# Recognised scheduler names (see module docstring).
+SCHEDULERS = ("event", "dense")
+
+
+def validate_scheduler(scheduler: str, exc: type[Exception] = ValueError) -> None:
+    """Raise ``exc`` if ``scheduler`` is not a recognised scheduler name.
+
+    API boundaries that thread a ``scheduler`` argument down to
+    :class:`SyncNetwork` call this upfront (typically with their own error
+    type) so a typo fails fast instead of deep inside — or, worse, being
+    silently ignored on a code path that never builds a network.
+    """
+    if scheduler not in SCHEDULERS:
+        raise exc(
+            f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}"
+        )
 
 
 class NodeContext:
@@ -60,6 +100,8 @@ class NodeContext:
 
         Needed by algorithms with internal timers (e.g. level-synchronized
         phases) that must be woken again although the network is silent.
+        Under the event-driven scheduler this is also the only way for a
+        silent node to be activated next round.
         """
         self._keep_alive = True
 
@@ -74,6 +116,13 @@ class SyncNetwork:
         enforce_bandwidth: disable only for experiments that deliberately
             exceed the model (never done in this library's algorithms).
         rng: seed or generator feeding every node's ``ctx.rng``.
+        scheduler: ``"event"`` (active-set, default) or ``"dense"``
+            (lockstep reference); see the module docstring.
+
+    Adjacency, neighbor tuples, and the node index used for deterministic
+    active-set ordering are precomputed once per :meth:`run` (so graph
+    mutations between runs are honored, as before), and the per-round loop
+    does no graph lookups or per-round dict rebuilding.
     """
 
     def __init__(
@@ -82,16 +131,30 @@ class SyncNetwork:
         bandwidth_bits: int | None = None,
         enforce_bandwidth: bool = True,
         rng: int | random.Random | None = None,
+        scheduler: str = "event",
     ):
         if graph.number_of_nodes() == 0:
             raise GraphStructureError("cannot build a network on an empty graph")
+        validate_scheduler(scheduler)
         self.graph = graph
         n = graph.number_of_nodes()
         if bandwidth_bits is None:
             bandwidth_bits = BANDWIDTH_FACTOR * max(1, math.ceil(math.log2(max(n, 2))))
         self.bandwidth_bits = bandwidth_bits
         self.enforce_bandwidth = enforce_bandwidth
+        self.scheduler = scheduler
         self._rng = ensure_rng(rng)
+        self._build_tables()
+
+    def _build_tables(self) -> None:
+        """Snapshot the topology into flat lookup tables for the hot loop."""
+        graph = self.graph
+        self._nodes: tuple = tuple(graph.nodes())
+        self._index: dict = {v: i for i, v in enumerate(self._nodes)}
+        self._neighbors: dict = {v: tuple(graph.neighbors(v)) for v in self._nodes}
+        self._neighbor_sets: dict = {
+            v: frozenset(nbrs) for v, nbrs in self._neighbors.items()
+        }
 
     def run(
         self,
@@ -116,70 +179,141 @@ class SyncNetwork:
             GraphStructureError: if ``algorithms`` does not cover the nodes.
             CongestViolation: on model violations or timeout.
         """
-        nodes = list(self.graph.nodes())
+        # Refresh the topology snapshot so callers that mutated the graph
+        # after construction (the seed contract) see their changes.
+        self._build_tables()
+        nodes = self._nodes
         if set(algorithms) != set(nodes):
             raise GraphStructureError("algorithms must cover exactly the graph nodes")
         contexts = {
             v: NodeContext(
                 v,
-                tuple(self.graph.neighbors(v)),
+                self._neighbors[v],
                 len(nodes),
                 random.Random(self._rng.randrange(2**62)),
             )
             for v in nodes
         }
         stats = RoundStats()
-        # Initial sends (round 0).
-        in_flight: dict[int, dict[int, object]] = {v: {} for v in nodes}
-        any_alive = False
+        # Initial sends (round 0): on_start runs on every node, by definition.
+        # Inboxes are allocated lazily — only receivers get a dict — and the
+        # active set seeds the first scheduled round.
+        inboxes: dict[int, dict[int, object]] = {}
+        active: set = set()
         for v in nodes:
-            outbox = algorithms[v].on_start(contexts[v]) or {}
-            self._validate_outbox(v, outbox)
-            for target, payload in outbox.items():
-                in_flight[target][v] = payload
-                stats.messages += 1
-                stats.message_bits += payload_bits(payload)
-                any_alive = True
-            if contexts[v]._keep_alive:
-                any_alive = True
+            ctx = contexts[v]
+            outbox = algorithms[v].on_start(ctx) or {}
+            if outbox:
+                self._deliver(v, outbox, inboxes, active, stats, 0)
+            if ctx._keep_alive:
+                active.add(v)
 
-        while any_alive:
-            if stats.rounds >= max_rounds:
+        if self.scheduler == "dense":
+            self._run_dense(
+                algorithms, contexts, inboxes, active, stats, max_rounds, raise_on_timeout
+            )
+        else:
+            self._run_event(
+                algorithms, contexts, inboxes, active, stats, max_rounds, raise_on_timeout
+            )
+        results = {v: algorithms[v].result() for v in nodes}
+        return results, stats
+
+    # ------------------------------------------------------------------
+    # Scheduler loops.  Both share delivery/validation (_deliver) and the
+    # quiescence rule: the run is alive iff some node received a message or
+    # latched keep-alive in the previous round — exactly the seed's
+    # ``any_alive`` flag, so round counts are identical across schedulers.
+    # ------------------------------------------------------------------
+
+    def _run_event(
+        self, algorithms, contexts, inboxes, active, stats, max_rounds, raise_on_timeout
+    ) -> None:
+        sort_key = self._index.__getitem__
+        round_no = 0
+        while active:
+            if round_no >= max_rounds:
                 if raise_on_timeout:
                     raise CongestViolation(
                         f"execution did not quiesce within {max_rounds} rounds"
                     )
                 break
-            stats.rounds += 1
-            next_flight: dict[int, dict[int, object]] = {v: {} for v in nodes}
-            any_alive = False
+            round_no += 1
+            stats.rounds = round_no
+            # Activation order follows the graph's node order so inbox
+            # insertion order — observable by algorithms — matches the
+            # dense scheduler byte for byte.
+            current = sorted(active, key=sort_key)
+            current_inboxes = inboxes
+            inboxes = {}
+            active = set()
+            for v in current:
+                ctx = contexts[v]
+                ctx.round = round_no
+                ctx._keep_alive = False
+                inbox = current_inboxes.get(v) or {}
+                outbox = algorithms[v].on_wake(ctx, inbox) or {}
+                stats.activations += 1
+                if outbox:
+                    self._deliver(v, outbox, inboxes, active, stats, round_no)
+                if ctx._keep_alive:
+                    active.add(v)
+
+    def _run_dense(
+        self, algorithms, contexts, inboxes, active, stats, max_rounds, raise_on_timeout
+    ) -> None:
+        nodes = self._nodes
+        round_no = 0
+        while active:
+            if round_no >= max_rounds:
+                if raise_on_timeout:
+                    raise CongestViolation(
+                        f"execution did not quiesce within {max_rounds} rounds"
+                    )
+                break
+            round_no += 1
+            stats.rounds = round_no
+            current_inboxes = inboxes
+            inboxes = {}
+            active = set()
             for v in nodes:
                 ctx = contexts[v]
-                ctx.round = stats.rounds
+                ctx.round = round_no
                 ctx._keep_alive = False
-                outbox = algorithms[v].on_round(ctx, in_flight[v]) or {}
-                self._validate_outbox(v, outbox)
-                for target, payload in outbox.items():
-                    next_flight[target][v] = payload
-                    stats.messages += 1
-                    stats.message_bits += payload_bits(payload)
-                    any_alive = True
+                outbox = algorithms[v].on_round(ctx, current_inboxes.get(v) or {}) or {}
+                stats.activations += 1
+                if outbox:
+                    self._deliver(v, outbox, inboxes, active, stats, round_no)
                 if ctx._keep_alive:
-                    any_alive = True
-            in_flight = next_flight
-        results = {v: algorithms[v].result() for v in nodes}
-        return results, stats
+                    active.add(v)
 
-    def _validate_outbox(self, sender: int, outbox: dict[int, object]) -> None:
+    def _deliver(
+        self,
+        sender: int,
+        outbox: dict[int, object],
+        inboxes: dict[int, dict[int, object]],
+        active: set,
+        stats: RoundStats,
+        round_no: int,
+    ) -> None:
+        """Validate ``sender``'s outbox and stage it for next-round delivery."""
+        neighbor_set = self._neighbor_sets[sender]
+        enforce = self.enforce_bandwidth
+        budget = self.bandwidth_bits
         for target, payload in outbox.items():
-            if not self.graph.has_edge(sender, target):
+            if target not in neighbor_set:
                 raise CongestViolation(
                     f"node {sender} tried to message non-neighbor {target}"
                 )
-            if self.enforce_bandwidth:
-                bits = payload_bits(payload)
-                if bits > self.bandwidth_bits:
-                    raise CongestViolation(
-                        f"node {sender} sent a {bits}-bit message to {target}; "
-                        f"budget is {self.bandwidth_bits} bits"
-                    )
+            bits = payload_bits(payload)
+            if enforce and bits > budget:
+                raise CongestViolation(
+                    f"node {sender} sent a {bits}-bit message to {target}; "
+                    f"budget is {budget} bits"
+                )
+            inbox = inboxes.get(target)
+            if inbox is None:
+                inbox = inboxes[target] = {}
+                active.add(target)
+            inbox[sender] = payload
+            stats.record_message(sender, target, bits, round_no)

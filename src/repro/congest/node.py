@@ -21,6 +21,19 @@ class NodeAlgorithm:
     A node that returns an empty outbox and does not call
     ``ctx.keep_alive()`` is considered passive; the network stops when every
     node is passive in the same round (quiescence).
+
+    Under the event-driven scheduler (the default, see
+    :mod:`repro.congest.network`), a passive node with an empty inbox is
+    not activated at all — it simply observes nothing, which is
+    indistinguishable from being called with an empty inbox for any
+    algorithm honoring the contract above and not consuming ``ctx.rng``
+    (or other external state) during passive rounds.  :meth:`on_wake` is the
+    activation entry point; it defaults to delegating to :meth:`on_round`,
+    so existing algorithms need no changes.  Event-native algorithms may
+    override :meth:`on_wake` directly as an opt-in fast path: it is only
+    ever invoked with a non-empty inbox or after the node latched
+    ``keep_alive`` in its previous activation, so empty-inbox polling
+    branches can be dropped.
     """
 
     def on_start(self, ctx: "NodeContext") -> dict[int, object]:
@@ -30,6 +43,15 @@ class NodeAlgorithm:
     def on_round(self, ctx: "NodeContext", inbox: dict[int, object]) -> dict[int, object]:
         """Process one round. ``inbox`` maps sender id -> payload."""
         raise NotImplementedError
+
+    def on_wake(self, ctx: "NodeContext", inbox: dict[int, object]) -> dict[int, object]:
+        """Event-scheduler activation: called only when there is something
+        to observe (non-empty ``inbox``) or the node kept itself alive.
+
+        Defaults to :meth:`on_round` — override for an event-native fast
+        path.  The dense scheduler never calls this.
+        """
+        return self.on_round(ctx, inbox)
 
     def result(self) -> object:
         """Final per-node output, collected by the network after the run."""

@@ -73,6 +73,7 @@ def distributed_bfs(
     graph: nx.Graph,
     root: int,
     rng: int | random.Random | None = None,
+    scheduler: str = "event",
 ) -> tuple[RootedTree, RoundStats]:
     """Build a BFS tree of ``graph`` from ``root`` in the CONGEST model.
 
@@ -86,7 +87,7 @@ def distributed_bfs(
     """
     if root not in graph:
         raise GraphStructureError(f"root {root} is not in the graph")
-    network = SyncNetwork(graph, rng=rng)
+    network = SyncNetwork(graph, rng=rng, scheduler=scheduler)
     algorithms = {v: BfsNode(v, v == root) for v in graph.nodes()}
     results, stats = network.run(algorithms)
     parent = {v: results[v]["parent"] for v in graph.nodes()}

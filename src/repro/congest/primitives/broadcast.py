@@ -43,6 +43,15 @@ class _BroadcastNode(NodeAlgorithm):
             return {child: self.value for child in self.children}
         return {}
 
+    def on_wake(self, ctx, inbox):
+        # Event-native fast path: this node never latches keep-alive, so a
+        # wake-up *is* the single delivery from its parent — no polling
+        # branch needed.
+        if self.value is None:
+            self.value = next(iter(inbox.values()))
+            return {child: self.value for child in self.children}
+        return {}
+
     def result(self):
         return self.value
 
@@ -52,9 +61,10 @@ def tree_broadcast(
     tree: RootedTree,
     value: object,
     rng: int | random.Random | None = None,
+    scheduler: str = "event",
 ) -> tuple[dict[int, object], RoundStats]:
     """Send ``value`` from the tree root to every node (``depth`` rounds)."""
-    network = SyncNetwork(graph, rng=rng)
+    network = SyncNetwork(graph, rng=rng, scheduler=scheduler)
     algorithms = {v: _BroadcastNode(v, tree, value) for v in graph.nodes()}
     return network.run(algorithms)
 
@@ -101,13 +111,14 @@ def tree_aggregate(
     values: dict[int, object],
     combine: Callable[[object, object], object],
     rng: int | random.Random | None = None,
+    scheduler: str = "event",
 ) -> tuple[object, RoundStats]:
     """Combine per-node ``values`` up the tree; the root's total is returned.
 
     ``combine`` must be associative and commutative and keep payloads within
     the bit budget (ints, small tuples).
     """
-    network = SyncNetwork(graph, rng=rng)
+    network = SyncNetwork(graph, rng=rng, scheduler=scheduler)
     algorithms = {
         v: _AggregateNode(v, tree, values[v], combine) for v in graph.nodes()
     }

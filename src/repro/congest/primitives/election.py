@@ -58,6 +58,7 @@ class ElectionNode(NodeAlgorithm):
 def elect_leader(
     graph: nx.Graph,
     rng: int | random.Random | None = None,
+    scheduler: str = "event",
 ) -> tuple[int, RoundStats]:
     """Elect the minimum-id node as leader; every node learns its id.
 
@@ -70,7 +71,7 @@ def elect_leader(
     """
     if graph.number_of_nodes() == 0:
         raise GraphStructureError("cannot elect a leader on an empty graph")
-    network = SyncNetwork(graph, rng=rng)
+    network = SyncNetwork(graph, rng=rng, scheduler=scheduler)
     algorithms = {v: ElectionNode(v) for v in graph.nodes()}
     results, stats = network.run(algorithms)
     leader = min(graph.nodes())

@@ -64,6 +64,7 @@ def pipelined_top_k(
     items: dict[int, list],
     k: int,
     rng: int | random.Random | None = None,
+    scheduler: str = "event",
 ) -> tuple[tuple, RoundStats]:
     """Collect the k globally-smallest items at the tree root.
 
@@ -82,7 +83,7 @@ def pipelined_top_k(
     if k < 1:
         raise GraphStructureError(f"k must be positive, got {k}")
     horizon = tree.max_depth + k + 2
-    network = SyncNetwork(graph, rng=rng)
+    network = SyncNetwork(graph, rng=rng, scheduler=scheduler)
     algorithms = {
         v: TopKNode(v, tree, list(items.get(v, [])), k, horizon)
         for v in graph.nodes()

@@ -15,6 +15,20 @@ class RoundStats:
         rounds: number of synchronous rounds executed.
         messages: total messages delivered.
         message_bits: total payload bits delivered.
+        activations: number of node activations (``on_wake``/``on_round``
+            calls in rounds >= 1).  Under the event-driven scheduler this is
+            the true work measure — ``O(total messages)`` instead of the
+            lockstep ``n * rounds``; under the dense scheduler it equals
+            ``n * rounds`` by construction.
+        messages_by_round: messages keyed by the round they were *sent* in.
+            Round ``r`` sends are delivered in round ``r + 1``; round ``0``
+            is the explicit entry for ``on_start`` emissions, so
+            ``sum(messages_by_round.values()) == messages`` always holds and
+            phase breakdowns sum to totals.  Keys are run-relative: summing
+            two stats merges same-numbered rounds.
+        edge_messages: per-directed-edge message counts ``(u, v) -> count``,
+            the *measured* congestion of the execution (see
+            :attr:`max_congestion`).
         phases: optional named breakdown (phase name -> RoundStats); the
             top-level numbers are always the totals.
     """
@@ -22,15 +36,51 @@ class RoundStats:
     rounds: int = 0
     messages: int = 0
     message_bits: int = 0
+    activations: int = 0
+    messages_by_round: dict[int, int] = field(default_factory=dict)
+    edge_messages: dict[tuple[int, int], int] = field(default_factory=dict)
     phases: dict[str, "RoundStats"] = field(default_factory=dict)
 
+    @property
+    def max_congestion(self) -> int:
+        """Measured congestion: the max messages sent over one directed edge."""
+        return max(self.edge_messages.values(), default=0)
+
+    def record_message(
+        self, source: int, target: int, bits: int, round_no: int
+    ) -> None:
+        """Charge one delivered message to every counter at once.
+
+        ``round_no`` is the round the message was *sent* in (``0`` for
+        ``on_start`` emissions, delivered in round 1).
+        """
+        self.messages += 1
+        self.message_bits += bits
+        self.messages_by_round[round_no] = self.messages_by_round.get(round_no, 0) + 1
+        key = (source, target)
+        self.edge_messages[key] = self.edge_messages.get(key, 0) + 1
+
     def __add__(self, other: "RoundStats") -> "RoundStats":
-        """Sequential composition: rounds and messages add."""
+        """Sequential composition: rounds and messages add.
+
+        Duplicate phase names are *summed*, never overwritten — mirroring
+        the uniqueness guarantee :meth:`add_phase` enforces (re-running a
+        named phase accumulates its cost instead of silently dropping the
+        left operand's accounting).
+        """
+        phases = dict(self.phases)
+        for name, stats in other.phases.items():
+            phases[name] = phases[name] + stats if name in phases else stats
         return RoundStats(
             rounds=self.rounds + other.rounds,
             messages=self.messages + other.messages,
             message_bits=self.message_bits + other.message_bits,
-            phases={**self.phases, **other.phases},
+            activations=self.activations + other.activations,
+            messages_by_round=_merge_counts(
+                self.messages_by_round, other.messages_by_round
+            ),
+            edge_messages=_merge_counts(self.edge_messages, other.edge_messages),
+            phases=phases,
         )
 
     def add_phase(self, name: str, stats: "RoundStats") -> None:
@@ -45,11 +95,30 @@ class RoundStats:
         self.rounds += stats.rounds
         self.messages += stats.messages
         self.message_bits += stats.message_bits
+        self.activations += stats.activations
+        self.messages_by_round = _merge_counts(
+            self.messages_by_round, stats.messages_by_round
+        )
+        self.edge_messages = _merge_counts(self.edge_messages, stats.edge_messages)
 
     def summary(self) -> str:
         """One-line human-readable summary."""
         parts = [f"rounds={self.rounds}", f"messages={self.messages}"]
+        if self.activations:
+            parts.append(f"activations={self.activations}")
+        if self.edge_messages:
+            parts.append(f"congestion={self.max_congestion}")
         if self.phases:
             inner = ", ".join(f"{name}: {s.rounds}r" for name, s in self.phases.items())
             parts.append(f"phases[{inner}]")
         return " ".join(parts)
+
+
+def _merge_counts(left: dict, right: dict) -> dict:
+    """Key-wise sum of two counter dicts."""
+    if not right:
+        return dict(left)
+    merged = dict(left)
+    for key, count in right.items():
+        merged[key] = merged.get(key, 0) + count
+    return merged

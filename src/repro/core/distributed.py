@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 
 import networkx as nx
 
-from repro.congest.network import SyncNetwork
+from repro.congest.network import SyncNetwork, validate_scheduler
 from repro.congest.node import NodeAlgorithm
 from repro.congest.primitives.bfs import distributed_bfs
 from repro.congest.primitives.broadcast import tree_aggregate, tree_broadcast
@@ -166,6 +166,7 @@ def distributed_partial_shortcut(
     exact: bool = False,
     run_verification: bool = True,
     elect_root: bool = False,
+    scheduler: str = "event",
 ) -> DistributedShortcutResult:
     """Run the full Theorem 1.5 pipeline; all round counts are measured.
 
@@ -183,6 +184,8 @@ def distributed_partial_shortcut(
             sweep-only microbenchmarks).
         elect_root: run a real distributed leader election for the root
             instead of assuming one (adds a measured ``O(D)``-round phase).
+        scheduler: simulator scheduler for every phase (``"event"`` or
+            ``"dense"``; see :mod:`repro.congest`).
 
     Raises:
         ShortcutError: if ``delta <= 0``, or if both ``root`` and
@@ -190,6 +193,7 @@ def distributed_partial_shortcut(
     """
     if delta <= 0:
         raise ShortcutError(f"delta must be positive, got {delta}")
+    validate_scheduler(scheduler, ShortcutError)
     rng = ensure_rng(rng)
     stats = RoundStats()
     if elect_root:
@@ -197,18 +201,20 @@ def distributed_partial_shortcut(
             raise ShortcutError("pass either root or elect_root, not both")
         from repro.congest.primitives.election import elect_leader
 
-        root, election_stats = elect_leader(graph, rng=rng)
+        root, election_stats = elect_leader(graph, rng=rng, scheduler=scheduler)
         stats.add_phase("election", election_stats)
     elif root is None:
         root = min(graph.nodes())
 
     # Phase 1: BFS tree.
-    tree, bfs_stats = distributed_bfs(graph, root, rng=rng)
+    tree, bfs_stats = distributed_bfs(graph, root, rng=rng, scheduler=scheduler)
     stats.add_phase("bfs", bfs_stats)
 
     # Phase 2: depth convergecast + parameter broadcast.
     depth_values = {v: tree.depth_of(v) for v in graph.nodes()}
-    depth_max, up_stats = tree_aggregate(graph, tree, depth_values, max, rng=rng)
+    depth_max, up_stats = tree_aggregate(
+        graph, tree, depth_values, max, rng=rng, scheduler=scheduler
+    )
     depth_max = max(depth_max, 1)
     n = graph.number_of_nodes()
     congestion_budget = math.ceil(8 * delta * depth_max)
@@ -228,12 +234,12 @@ def distributed_partial_shortcut(
     # Three scalar broadcasts keep each message within the bit budget.
     meta_stats = up_stats
     for scalar in (seed, congestion_budget, tau):
-        _, down_stats = tree_broadcast(graph, tree, scalar, rng=rng)
+        _, down_stats = tree_broadcast(graph, tree, scalar, rng=rng, scheduler=scheduler)
         meta_stats = meta_stats + down_stats
     stats.add_phase("meta", meta_stats)
 
     # Phase 3: the sampled upward sweep.
-    network = SyncNetwork(graph, rng=rng)
+    network = SyncNetwork(graph, rng=rng, scheduler=scheduler)
     algorithms = {
         v: SweepNode(
             node=v,

@@ -247,8 +247,15 @@ def partwise_aggregate(
                 queue[position], queue[0] = queue[0], queue[position]
             deliveries.append((edge, queue.popleft()))
         for (source, target), packet in deliveries:
-            stats.messages += 1
-            stats.message_bits += _packet_bits(packet)
+            # record_message also maintains the per-edge congestion counters,
+            # so aggregations report *measured* congestion alongside the
+            # planned max_edge_load.  Delivery happens during round
+            # ``current_round``; the send-round key convention of
+            # RoundStats.messages_by_round (sent in r, delivered in r+1,
+            # initial wave at 0) makes that ``current_round - 1``.
+            stats.record_message(
+                source, target, _packet_bits(packet), current_round - 1
+            )
             kind, part, value = packet
             plan = plans[part]
             if kind == "up":

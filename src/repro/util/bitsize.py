@@ -48,5 +48,10 @@ def payload_bits(payload: object) -> int:
     if isinstance(payload, str):
         return 8 * max(1, len(payload))
     if isinstance(payload, (tuple, list)):
+        if not payload:
+            # An empty container still occupies the channel: charge the
+            # per-field framing minimum so "send ()" is not a zero-cost
+            # signaling side channel (every other payload pays >= 1 bit).
+            return _FIELD_OVERHEAD_BITS
         return sum(payload_bits(item) + _FIELD_OVERHEAD_BITS for item in payload)
     raise TypeError(f"cannot size payload of type {type(payload).__name__}")

@@ -158,3 +158,50 @@ class TestRoundStats:
         total.add_phase("bfs", RoundStats(rounds=7))
         assert "bfs" in total.summary()
         assert "rounds=7" in total.summary()
+
+    def test_addition_sums_duplicate_phases(self):
+        # Regression: {**a.phases, **b.phases} silently dropped the left
+        # operand's accounting for a re-used phase name.
+        a = RoundStats()
+        a.add_phase("sweep", RoundStats(rounds=3, messages=10))
+        b = RoundStats()
+        b.add_phase("sweep", RoundStats(rounds=2, messages=4))
+        total = a + b
+        assert total.rounds == 5
+        assert total.messages == 14
+        assert total.phases["sweep"].rounds == 5
+        assert total.phases["sweep"].messages == 14
+
+    def test_addition_keeps_distinct_phases(self):
+        a = RoundStats()
+        a.add_phase("bfs", RoundStats(rounds=1))
+        b = RoundStats()
+        b.add_phase("meta", RoundStats(rounds=2))
+        total = a + b
+        assert set(total.phases) == {"bfs", "meta"}
+
+    def test_addition_merges_edge_and_round_counters(self):
+        a = RoundStats(
+            rounds=1, messages=3, messages_by_round={0: 1, 1: 2},
+            edge_messages={(0, 1): 2, (1, 0): 1},
+        )
+        b = RoundStats(
+            rounds=1, messages=2, messages_by_round={0: 2},
+            edge_messages={(0, 1): 2},
+        )
+        total = a + b
+        assert total.messages_by_round == {0: 3, 1: 2}
+        assert total.edge_messages == {(0, 1): 4, (1, 0): 1}
+        assert total.max_congestion == 4
+        assert sum(total.messages_by_round.values()) == total.messages
+
+    def test_add_phase_accumulates_activations_and_congestion(self):
+        total = RoundStats()
+        total.add_phase(
+            "one", RoundStats(rounds=1, activations=5, edge_messages={(0, 1): 3})
+        )
+        total.add_phase(
+            "two", RoundStats(rounds=1, activations=2, edge_messages={(0, 1): 1})
+        )
+        assert total.activations == 7
+        assert total.edge_messages == {(0, 1): 4}

@@ -1,0 +1,303 @@
+"""Tests for the event-driven active-set scheduler.
+
+Two concerns:
+
+* quiescence edge cases — keep-alive-only nodes, ``on_start``-only runs,
+  mid-flight sampling with ``raise_on_timeout=False`` — behave identically
+  to the lockstep semantics;
+* equivalence — the event scheduler produces byte-identical results,
+  round counts, and message counts to the dense (seed) scheduler across
+  the primitive suite, while doing far fewer node activations on
+  thin-frontier instances.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.congest import NodeAlgorithm, SyncNetwork
+from repro.congest.primitives.bfs import distributed_bfs
+from repro.congest.primitives.broadcast import tree_aggregate, tree_broadcast
+from repro.congest.primitives.election import elect_leader
+from repro.congest.primitives.pipeline import pipelined_top_k
+from repro.graphs.trees import bfs_tree
+
+
+class _KeepAliveTimer(NodeAlgorithm):
+    """Silent node that latches keep-alive for ``ticks`` rounds, then stops."""
+
+    def __init__(self, ticks):
+        self.ticks = ticks
+        self.wake_rounds = []
+
+    def on_round(self, ctx, inbox):
+        assert not inbox
+        self.wake_rounds.append(ctx.round)
+        if ctx.round < self.ticks:
+            ctx.keep_alive()
+        return {}
+
+    def on_start(self, ctx):
+        if self.ticks > 0:
+            ctx.keep_alive()
+        return {}
+
+
+class _StartOnlyPinger(NodeAlgorithm):
+    """Node 0 sends once from on_start; everyone is silent afterwards."""
+
+    def __init__(self, node):
+        self.node = node
+        self.inboxes = []
+
+    def on_start(self, ctx):
+        if self.node == 0:
+            return {neighbor: (3,) for neighbor in ctx.neighbors}
+        return {}
+
+    def on_round(self, ctx, inbox):
+        self.inboxes.append(dict(inbox))
+        return {}
+
+    def result(self):
+        return tuple(self.inboxes)
+
+
+class _Chatter(NodeAlgorithm):
+    def on_start(self, ctx):
+        return {neighbor: (1,) for neighbor in ctx.neighbors}
+
+    def on_round(self, ctx, inbox):
+        return {neighbor: (1,) for neighbor in ctx.neighbors}
+
+
+class _WakeOnly(NodeAlgorithm):
+    """Event-native algorithm: overrides on_wake, never defines on_round."""
+
+    def __init__(self, node):
+        self.node = node
+        self.wakes = 0
+
+    def on_start(self, ctx):
+        if self.node == 0:
+            return {neighbor: (1,) for neighbor in ctx.neighbors}
+        return {}
+
+    def on_wake(self, ctx, inbox):
+        self.wakes += 1
+        assert inbox, "on_wake must only fire with something to observe"
+        return {}
+
+    def result(self):
+        return self.wakes
+
+
+class TestQuiescenceEdgeCases:
+    def test_keep_alive_only_nodes_are_woken_every_round(self):
+        graph = nx.path_graph(3)
+        network = SyncNetwork(graph, scheduler="event")
+        algorithms = {v: _KeepAliveTimer(4 if v == 1 else 0) for v in graph}
+        _, stats = network.run(algorithms)
+        assert stats.rounds == 4
+        assert algorithms[1].wake_rounds == [1, 2, 3, 4]
+        # Only the latched node is ever activated.
+        assert algorithms[0].wake_rounds == []
+        assert algorithms[2].wake_rounds == []
+        assert stats.activations == 4
+        assert stats.messages == 0
+
+    def test_on_start_only_run_takes_one_round(self):
+        graph = nx.star_graph(5)  # center 0, leaves 1..5
+        for scheduler in ("event", "dense"):
+            network = SyncNetwork(graph, scheduler=scheduler)
+            algorithms = {v: _StartOnlyPinger(v) for v in graph}
+            results, stats = network.run(algorithms)
+            assert stats.rounds == 1
+            assert stats.messages == 5
+            for leaf in range(1, 6):
+                assert results[leaf] == ({0: (3,)},)
+
+    def test_round0_sends_are_attributed(self):
+        graph = nx.star_graph(5)
+        network = SyncNetwork(graph, scheduler="event")
+        _, stats = network.run({v: _StartOnlyPinger(v) for v in graph})
+        # Explicit round-0 entry for on_start emissions: the per-round
+        # breakdown always sums to the message total.
+        assert stats.messages_by_round == {0: 5}
+        assert sum(stats.messages_by_round.values()) == stats.messages
+
+    def test_mid_flight_sampling_without_raise(self):
+        graph = nx.path_graph(4)
+        for scheduler in ("event", "dense"):
+            network = SyncNetwork(graph, scheduler=scheduler)
+            _, stats = network.run(
+                {v: _Chatter() for v in graph}, max_rounds=7, raise_on_timeout=False
+            )
+            assert stats.rounds == 7
+            # One message per edge direction per round, plus the on_start wave.
+            assert stats.messages == 6 * 8
+
+    def test_silent_network_does_no_work(self):
+        graph = nx.path_graph(3)
+        network = SyncNetwork(graph, scheduler="event")
+
+        class Silent(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                return {}
+
+        _, stats = network.run({v: Silent() for v in graph})
+        assert stats.rounds == 0
+        assert stats.activations == 0
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError):
+            SyncNetwork(nx.path_graph(2), scheduler="bogus")
+
+    def test_on_wake_fast_path_only_fires_with_input(self):
+        graph = nx.star_graph(4)
+        network = SyncNetwork(graph, scheduler="event")
+        algorithms = {v: _WakeOnly(v) for v in graph}
+        results, stats = network.run(algorithms)
+        assert results[0] == 0  # sender never hears back
+        assert all(results[leaf] == 1 for leaf in range(1, 5))
+        assert stats.activations == 4
+
+
+def _equiv_stats(stats):
+    """The cross-scheduler-comparable projection of RoundStats."""
+    return (stats.rounds, stats.messages, stats.message_bits)
+
+
+def _parents(tree):
+    return {v: tree.parent_of(v) for v in tree.nodes()}
+
+
+class TestSchedulerEquivalence:
+    GRAPHS = {
+        "path": nx.path_graph(17),
+        "star": nx.star_graph(12),
+        "cycle": nx.cycle_graph(11),
+        "grid": nx.convert_node_labels_to_integers(nx.grid_2d_graph(5, 4)),
+        "lollipop": nx.lollipop_graph(6, 9),
+    }
+
+    @pytest.mark.parametrize("name", sorted(GRAPHS))
+    def test_bfs_equivalent(self, name):
+        graph = self.GRAPHS[name]
+        dense_tree, dense_stats = distributed_bfs(graph, 0, rng=5, scheduler="dense")
+        event_tree, event_stats = distributed_bfs(graph, 0, rng=5, scheduler="event")
+        assert _parents(dense_tree) == _parents(event_tree)
+        assert _equiv_stats(dense_stats) == _equiv_stats(event_stats)
+        assert dense_stats.edge_messages == event_stats.edge_messages
+        assert event_stats.activations <= dense_stats.activations
+
+    @pytest.mark.parametrize("name", sorted(GRAPHS))
+    def test_election_equivalent(self, name):
+        graph = self.GRAPHS[name]
+        dense = elect_leader(graph, rng=3, scheduler="dense")
+        event = elect_leader(graph, rng=3, scheduler="event")
+        assert dense[0] == event[0]
+        assert _equiv_stats(dense[1]) == _equiv_stats(event[1])
+
+    @pytest.mark.parametrize("name", sorted(GRAPHS))
+    def test_broadcast_and_aggregate_equivalent(self, name):
+        graph = self.GRAPHS[name]
+        tree = bfs_tree(graph, root=0)
+        outcomes = {}
+        for scheduler in ("dense", "event"):
+            values, b_stats = tree_broadcast(graph, tree, 42, rng=1, scheduler=scheduler)
+            total, a_stats = tree_aggregate(
+                graph, tree, {v: 1 for v in graph}, lambda a, b: a + b,
+                rng=1, scheduler=scheduler,
+            )
+            outcomes[scheduler] = (
+                values, total, _equiv_stats(b_stats), _equiv_stats(a_stats)
+            )
+        assert outcomes["dense"] == outcomes["event"]
+
+    @pytest.mark.parametrize("name", sorted(GRAPHS))
+    def test_pipelined_top_k_equivalent(self, name):
+        graph = self.GRAPHS[name]
+        tree = bfs_tree(graph, root=0)
+        items = {v: [v * 3 + 1, 100 + v] for v in graph}
+        dense = pipelined_top_k(graph, tree, items, k=4, rng=2, scheduler="dense")
+        event = pipelined_top_k(graph, tree, items, k=4, rng=2, scheduler="event")
+        assert dense[0] == event[0]
+        assert _equiv_stats(dense[1]) == _equiv_stats(event[1])
+
+    def test_bellman_ford_equivalent(self):
+        from repro.apps.sssp import bellman_ford_sssp
+        from repro.graphs.adjacency import canonical_edge
+
+        graph = nx.lollipop_graph(5, 8)
+        weights = {
+            canonical_edge(u, v): (u * 7 + v * 3) % 11 + 1 for u, v in graph.edges()
+        }
+        dense = bellman_ford_sssp(graph, 0, weights, rng=4, scheduler="dense")
+        event = bellman_ford_sssp(graph, 0, weights, rng=4, scheduler="event")
+        assert dense[0] == event[0]
+        assert _equiv_stats(dense[1]) == _equiv_stats(event[1])
+
+    def test_distributed_shortcut_pipeline_equivalent(self):
+        from repro.core.distributed import distributed_partial_shortcut
+        from repro.graphs.generators import grid_graph
+        from repro.graphs.partition import grid_rows_partition
+
+        graph = grid_graph(6, 6)
+        partition = grid_rows_partition(graph)
+        dense = distributed_partial_shortcut(
+            graph, partition, delta=3.0, rng=7, scheduler="dense"
+        )
+        event = distributed_partial_shortcut(
+            graph, partition, delta=3.0, rng=7, scheduler="event"
+        )
+        assert dense.marked == event.marked
+        assert dense.satisfied == event.satisfied
+        assert dense.params == event.params
+        assert _equiv_stats(dense.stats) == _equiv_stats(event.stats)
+
+    def test_thin_frontier_activation_win(self):
+        # A broom: star whose center hangs off a long path.  The dense
+        # scheduler pays n activations per round; the event scheduler pays
+        # only for nodes that actually observe something.
+        graph = nx.lollipop_graph(40, 200)
+        dense_tree, dense_stats = distributed_bfs(graph, 0, rng=9, scheduler="dense")
+        event_tree, event_stats = distributed_bfs(graph, 0, rng=9, scheduler="event")
+        assert _parents(dense_tree) == _parents(event_tree)
+        n = graph.number_of_nodes()
+        assert dense_stats.activations == n * dense_stats.rounds
+        assert event_stats.activations <= 2 * event_stats.messages
+        assert event_stats.activations < dense_stats.activations / 10
+
+
+class TestMeasuredCongestion:
+    def test_edge_counters_track_per_edge_traffic(self):
+        graph = nx.path_graph(3)
+        network = SyncNetwork(graph, scheduler="event")
+        _, stats = network.run(
+            {v: _Chatter() for v in graph}, max_rounds=5, raise_on_timeout=False
+        )
+        # One send per directed edge per round: the on_start wave (round 0)
+        # plus one per executed round (the final round's sends are counted
+        # at send time, like the seed scheduler).
+        assert stats.edge_messages[(0, 1)] == 6
+        assert stats.edge_messages[(1, 0)] == 6
+        assert stats.max_congestion == 6
+        assert sum(stats.edge_messages.values()) == stats.messages
+
+    def test_partwise_engine_reports_measured_congestion(self):
+        from repro.apps.partwise import solve_partwise_aggregation
+        from repro.graphs.generators import grid_graph
+        from repro.graphs.partition import grid_rows_partition
+
+        graph = grid_graph(5, 5)
+        partition = grid_rows_partition(graph)
+        solution = solve_partwise_aggregation(
+            graph, partition, {v: 1 for v in graph}, lambda a, b: a + b, rng=3
+        )
+        stats = solution.aggregation_stats
+        assert stats.max_congestion >= 1
+        assert sum(stats.edge_messages.values()) == stats.messages
+        assert sum(stats.messages_by_round.values()) == stats.messages
+        # Send-round convention: the initial convergecast wave (leaves firing
+        # at delay 0) appears as the explicit round-0 entry.
+        assert 0 in stats.messages_by_round

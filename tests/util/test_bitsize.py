@@ -49,6 +49,14 @@ class TestPayloadBits:
         with pytest.raises(TypeError):
             payload_bits({"a": 1})
 
+    def test_empty_containers_are_not_free(self):
+        # Regression: sum() over an empty tuple/list charged 0 bits — a
+        # zero-cost signaling channel below the 1-bit minimum every other
+        # payload pays.
+        assert payload_bits(()) >= 1
+        assert payload_bits([]) >= 1
+        assert payload_bits(((),)) > payload_bits(())
+
     @given(st.lists(st.integers(min_value=0, max_value=2**40), max_size=8))
     def test_list_size_grows_with_content(self, values):
-        assert payload_bits(values) >= len(values)
+        assert payload_bits(values) >= max(1, len(values))
