@@ -69,6 +69,7 @@ def subgraph_components(
     delta: float | None = None,
     rng: int | random.Random | None = None,
     scheduler: str = "event",
+    workers: int | None = None,
 ) -> ConnectivityResult:
     """Connected components of ``(V, subgraph_edges)`` in the CONGEST model.
 
@@ -81,7 +82,10 @@ def subgraph_components(
             measured Theorem 1.5 distributed pipeline).
         delta: minor-density parameter for the shortcut construction.
         scheduler: simulator scheduler for the simulated construction
-            (``"event"`` or ``"dense"``; see :mod:`repro.congest`).
+            (``"event"``, ``"dense"``, or ``"sharded"``; see
+            :mod:`repro.congest`).
+        workers: process count for the sharded scheduler (``None`` =
+            backend default).
 
     Raises:
         GraphStructureError: if some subgraph edge is not a ``G`` edge.
@@ -91,7 +95,7 @@ def subgraph_components(
         raise ShortcutError(f"unknown shortcut_method {shortcut_method!r}")
     if construction not in ("centralized", "simulated"):
         raise ShortcutError(f"unknown construction {construction!r}")
-    validate_scheduler(scheduler, ShortcutError)
+    validate_scheduler(scheduler, ShortcutError, workers=workers)
     rng = ensure_rng(rng)
     normalized: set[Edge] = set()
     for u, v in subgraph_edges:
@@ -142,7 +146,8 @@ def subgraph_components(
             break
 
         shortcut, build_stats = _phase_shortcut(
-            graph, tree, partition, shortcut_method, construction, delta, rng, scheduler
+            graph, tree, partition, shortcut_method, construction, delta, rng,
+            scheduler, workers,
         )
         phase_stats = phase_stats + build_stats
         aggregation = partwise_aggregate(
@@ -184,7 +189,9 @@ def subgraph_components(
     )
 
 
-def _phase_shortcut(graph, tree, partition, method, construction, delta, rng, scheduler):
+def _phase_shortcut(
+    graph, tree, partition, method, construction, delta, rng, scheduler, workers=None
+):
     if method == "baseline":
         return bfs_tree_shortcut(graph, partition, tree=tree), RoundStats(
             rounds=tree.max_depth + 1
@@ -194,7 +201,7 @@ def _phase_shortcut(graph, tree, partition, method, construction, delta, rng, sc
 
         return _build_shortcut(
             graph, tree, partition, "theorem31", "simulated", delta, rng,
-            scheduler=scheduler,
+            scheduler=scheduler, workers=workers,
         )
     result = build_full_shortcut(graph, tree, partition, delta, escalate_on_stall=True)
     return result.shortcut, RoundStats()

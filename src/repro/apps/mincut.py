@@ -85,6 +85,7 @@ def distributed_mincut(
     shortcut_method: str = "theorem31",
     construction: str = "centralized",
     scheduler: str = "event",
+    workers: int | None = None,
 ) -> MinCutResult:
     """Unweighted min cut (edge connectivity) with measured round accounting.
 
@@ -100,12 +101,15 @@ def distributed_mincut(
         construction: forwarded to :func:`repro.apps.mst.distributed_mst`
             (``"centralized"`` or ``"simulated"``).
         scheduler: simulator scheduler for the simulated construction
-            (``"event"`` or ``"dense"``; see :mod:`repro.congest`).
+            (``"event"``, ``"dense"``, or ``"sharded"``; see
+            :mod:`repro.congest`).
+        workers: process count for the sharded scheduler (``None`` =
+            backend default).
 
     Raises:
         GraphStructureError: if the graph is disconnected or has < 2 nodes.
     """
-    validate_scheduler(scheduler, ShortcutError)
+    validate_scheduler(scheduler, ShortcutError, workers=workers)
     if graph.number_of_nodes() < 2:
         raise GraphStructureError("min cut needs at least 2 nodes")
     if not nx.is_connected(graph):
@@ -138,6 +142,7 @@ def distributed_mincut(
             delta=delta,
             rng=rng,
             scheduler=scheduler,
+            workers=workers,
         )
         stats.add_phase(f"tree_{index}", mst.stats)
         for edge in mst.edges:

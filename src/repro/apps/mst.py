@@ -91,6 +91,7 @@ def distributed_mst(
     rng: int | random.Random | None = None,
     max_phases: int | None = None,
     scheduler: str = "event",
+    workers: int | None = None,
 ) -> MstResult:
     """Compute the MST with measured CONGEST round accounting.
 
@@ -110,7 +111,10 @@ def distributed_mst(
             degeneracy.
         max_phases: safety cap (default ``2·ceil(log2 n) + 4``).
         scheduler: simulator scheduler for the ``"simulated"`` construction
-            (``"event"`` or ``"dense"``; see :mod:`repro.congest`).
+            (``"event"``, ``"dense"``, or ``"sharded"``; see
+            :mod:`repro.congest`).
+        workers: process count for the sharded scheduler (``None`` =
+            backend default).
 
     Raises:
         GraphStructureError: disconnected input or non-integer weights.
@@ -134,7 +138,7 @@ def distributed_mst(
         raise ShortcutError(f"unknown shortcut_method {shortcut_method!r}")
     if construction not in ("centralized", "simulated"):
         raise ShortcutError(f"unknown construction {construction!r}")
-    validate_scheduler(scheduler, ShortcutError)
+    validate_scheduler(scheduler, ShortcutError, workers=workers)
     if delta is None:
         from repro.graphs.minors import analytic_delta_upper
         from repro.graphs.properties import degeneracy
@@ -171,7 +175,7 @@ def distributed_mst(
         # Step 2: shortcut for the current fragments.
         shortcut, construction_stats = _build_shortcut(
             graph, tree, partition, shortcut_method, construction, delta, rng,
-            scheduler=scheduler,
+            scheduler=scheduler, workers=workers,
         )
         phase_stats = phase_stats + construction_stats
 
@@ -231,6 +235,7 @@ def _build_shortcut(
     delta: float,
     rng: random.Random,
     scheduler: str = "event",
+    workers: int | None = None,
 ) -> tuple[Shortcut, RoundStats]:
     if method == "baseline":
         shortcut = bfs_tree_shortcut(graph, partition, tree=tree)
@@ -256,7 +261,7 @@ def _build_shortcut(
         sub = partition.restrict(graph, remaining)
         result = distributed_partial_shortcut(
             graph, sub, current_delta, rng=rng, run_verification=False,
-            scheduler=scheduler,
+            scheduler=scheduler, workers=workers,
         )
         total = total + result.stats
         final_tree = result.tree

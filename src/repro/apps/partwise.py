@@ -66,6 +66,7 @@ def _construct_shortcut(
     delta: float | None,
     rng: random.Random,
     scheduler: str = "event",
+    workers: int | None = None,
 ) -> tuple[Shortcut, RoundStats]:
     if method == "none":
         return Shortcut(graph, partition, [[] for _ in partition]), RoundStats()
@@ -93,7 +94,7 @@ def _construct_shortcut(
     tree = bfs_tree(graph)
     return _build_shortcut(
         graph, tree, partition, "theorem31", "simulated", delta, rng,
-        scheduler=scheduler,
+        scheduler=scheduler, workers=workers,
     )
 
 
@@ -107,6 +108,7 @@ def solve_partwise_aggregation(
     delta: float | None = None,
     rng: int | random.Random | None = None,
     scheduler: str = "event",
+    workers: int | None = None,
 ) -> PartwiseSolution:
     """Solve Definition 2.1's aggregation variant end to end.
 
@@ -120,17 +122,20 @@ def solve_partwise_aggregation(
             (measured Theorem 1.5 pipeline rounds included).
         delta: minor-density parameter; default analytic-or-degeneracy.
         scheduler: simulator scheduler for the simulated construction
-            (``"event"`` or ``"dense"``; see :mod:`repro.congest`).
+            (``"event"``, ``"dense"``, or ``"sharded"``; see
+            :mod:`repro.congest`).
+        workers: process count for the sharded scheduler (``None`` =
+            backend default).
 
     Raises:
         ShortcutError: unknown method/construction, or an aggregation that
             cannot complete (disconnected ``G[P_i] + H_i``).
     """
-    validate_scheduler(scheduler, ShortcutError)
+    validate_scheduler(scheduler, ShortcutError, workers=workers)
     rng = ensure_rng(rng)
     shortcut, construction_stats = _construct_shortcut(
         graph, partition, shortcut_method, construction, delta, rng,
-        scheduler=scheduler,
+        scheduler=scheduler, workers=workers,
     )
     result = partwise_aggregate(graph, partition, shortcut, values, combine, rng=rng)
     if result.incomplete:
@@ -155,6 +160,7 @@ def solve_partwise_multicast(
     delta: float | None = None,
     rng: int | random.Random | None = None,
     scheduler: str = "event",
+    workers: int | None = None,
 ) -> PartwiseSolution:
     """Definition 2.1's multicast variant: one message per part, to all members.
 
@@ -191,6 +197,7 @@ def solve_partwise_multicast(
         delta=delta,
         rng=rng,
         scheduler=scheduler,
+        workers=workers,
     )
     solution.values = {index: value[1] for index, value in solution.values.items()}
     return solution

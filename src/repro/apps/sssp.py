@@ -35,11 +35,14 @@ def distributed_bfs_sssp(
     source: int,
     rng: int | random.Random | None = None,
     scheduler: str = "event",
+    workers: int | None = None,
 ) -> tuple[dict[int, int], RoundStats]:
     """Unweighted SSSP = distributed BFS; returns hop distances and stats."""
     from repro.congest.primitives.bfs import distributed_bfs
 
-    tree, stats = distributed_bfs(graph, source, rng=rng, scheduler=scheduler)
+    tree, stats = distributed_bfs(
+        graph, source, rng=rng, scheduler=scheduler, workers=workers
+    )
     return {v: tree.depth_of(v) for v in graph.nodes()}, stats
 
 
@@ -86,6 +89,7 @@ def bellman_ford_sssp(
     max_hops: int | None = None,
     rng: int | random.Random | None = None,
     scheduler: str = "event",
+    workers: int | None = None,
 ) -> tuple[dict[int, int | None], RoundStats]:
     """Synchronous Bellman–Ford from ``source``.
 
@@ -111,7 +115,7 @@ def bellman_ford_sssp(
             raise GraphStructureError(
                 f"weights must be nonnegative integers; {edge} has {weight!r}"
             )
-    network = SyncNetwork(graph, rng=rng, scheduler=scheduler)
+    network = SyncNetwork(graph, rng=rng, scheduler=scheduler, workers=workers)
     algorithms = {
         v: _BellmanFordNode(v, v == source, weights, max_hops) for v in graph.nodes()
     }
@@ -127,6 +131,7 @@ def approx_sssp(
     hop_bound: int,
     rng: int | random.Random | None = None,
     scheduler: str = "event",
+    workers: int | None = None,
 ) -> tuple[dict[int, int | None], RoundStats]:
     """(1+ε)-approximate SSSP for paths of at most ``hop_bound`` hops.
 
@@ -170,7 +175,8 @@ def approx_sssp(
     }
     rescaled = {edge: int(value) for edge, value in rescaled.items()}
     distances, stats = bellman_ford_sssp(
-        graph, source, rescaled, max_hops=hop_bound, rng=rng, scheduler=scheduler
+        graph, source, rescaled, max_hops=hop_bound, rng=rng, scheduler=scheduler,
+        workers=workers,
     )
     upscaled = {
         v: (None if d is None else int(d * mu) if v != source else 0)

@@ -115,14 +115,42 @@ def _cmd_lowerbound(args: argparse.Namespace) -> int:
     return 0 if quality.quality >= instance.quality_lower_bound else 1
 
 
+def _add_scheduler_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scheduler", default="event",
+        help="simulator scheduler backend: event, dense, or sharded",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process count for the sharded scheduler (default: backend pick)",
+    )
+
+
+def _validated_scheduler(args: argparse.Namespace) -> tuple[str, int | None]:
+    """Fail fast on a bad --scheduler/--workers combination."""
+    from repro.congest.network import validate_scheduler
+
+    validate_scheduler(args.scheduler, SystemExit, workers=args.workers)
+    return args.scheduler, args.workers
+
+
 def _cmd_mst(args: argparse.Namespace) -> int:
     from repro.apps.mst import assign_random_weights, distributed_mst
 
+    scheduler, workers = _validated_scheduler(args)
     graph = build_family(args)
     weights = assign_random_weights(graph, rng=args.seed)
     print(f"graph: {args.family}, n={graph.number_of_nodes()}, m={graph.number_of_edges()}")
-    ours = distributed_mst(graph, weights, shortcut_method="theorem31", rng=args.seed)
-    base = distributed_mst(graph, weights, shortcut_method="baseline", rng=args.seed)
+    print(f"construction: {args.construction}, scheduler: {scheduler}"
+          + (f", workers: {workers}" if workers else ""))
+    ours = distributed_mst(
+        graph, weights, shortcut_method="theorem31", construction=args.construction,
+        rng=args.seed, scheduler=scheduler, workers=workers,
+    )
+    base = distributed_mst(
+        graph, weights, shortcut_method="baseline", construction=args.construction,
+        rng=args.seed, scheduler=scheduler, workers=workers,
+    )
     agree = ours.edges == base.edges
     print(f"theorem31: {ours.stats.rounds} rounds, {ours.phases} phases")
     print(f"baseline : {base.stats.rounds} rounds, {base.phases} phases")
@@ -132,9 +160,11 @@ def _cmd_mst(args: argparse.Namespace) -> int:
 
 def _cmd_certify(args: argparse.Namespace) -> int:
     from repro.core.certifying import certify_or_shortcut
+    from repro.core.distributed import distributed_partial_shortcut
     from repro.graphs.partition import voronoi_partition
     from repro.graphs.trees import bfs_tree
 
+    scheduler, workers = _validated_scheduler(args)
     graph = build_family(args)
     tree = bfs_tree(graph)
     num_parts = args.parts or max(2, graph.number_of_nodes() // 16)
@@ -152,6 +182,17 @@ def _cmd_certify(args: argparse.Namespace) -> int:
               f"density {outcome.witness.density:.3f} (validated)")
     else:
         print("no witness needed (first attempt succeeded)")
+    # Cross-check the certified delta end to end in the simulator: the
+    # measured Theorem 1.5 pipeline must also reach case I at that delta.
+    final_delta = outcome.attempts[-1][0]
+    check = distributed_partial_shortcut(
+        graph, partition, final_delta, rng=args.seed,
+        scheduler=scheduler, workers=workers,
+    )
+    print(f"distributed check ({scheduler}): delta={final_delta:.3f}, "
+          f"{check.stats.rounds} rounds, "
+          f"congestion {check.stats.max_congestion}, "
+          f"satisfied {len(check.satisfied)}/{len(partition)}")
     return 0
 
 
@@ -178,10 +219,18 @@ def main(argv: list[str] | None = None) -> int:
 
     mst = subparsers.add_parser("mst", help="distributed MST, both arms")
     _add_family_arguments(mst)
+    _add_scheduler_arguments(mst)
+    mst.add_argument(
+        "--construction", default="centralized",
+        choices=("centralized", "simulated"),
+        help="shortcut construction arm (simulated runs the Theorem 1.5 "
+             "pipeline under the chosen scheduler)",
+    )
     mst.set_defaults(func=_cmd_mst)
 
     certify = subparsers.add_parser("certify", help="certifying construction")
     _add_family_arguments(certify)
+    _add_scheduler_arguments(certify)
     certify.add_argument("--parts", type=int, default=None)
     certify.add_argument("--initial-delta", type=float, default=0.25)
     certify.set_defaults(func=_cmd_certify)

@@ -41,6 +41,21 @@ high-diameter graphs, sparse floods) this is the difference between
 :class:`~repro.congest.network.SyncNetwork` for the lockstep reference
 loop (used by the equivalence tests, and by any exotic algorithm that acts
 spontaneously on an empty inbox without latching keep-alive).
+
+Scheduler backends
+------------------
+
+Scheduling is pluggable (:mod:`repro.congest.engine`): the shared message
+semantics (validation, bandwidth, staging, accounting) live in one
+``MessageFabric``, and a ``SchedulerBackend`` supplies the activation
+strategy.  Besides ``"event"`` and ``"dense"``, ``scheduler="sharded"``
+(:mod:`repro.congest.sharded`) partitions the node set across ``workers``
+forked processes — BFS-contiguous shards, per-round batched cross-shard
+message exchange with a barrier, merged per-shard stats — so large
+instances use all cores while staying byte-identical to ``"event"`` for
+any worker count.  Per-node ``ctx.rng`` streams are derived from
+``(run_seed, node_index)``, making them invariant across backends and
+worker counts.
 """
 
 from repro.congest.network import NodeContext, SyncNetwork

@@ -1,0 +1,293 @@
+"""The execution-engine layer: shared semantics, pluggable scheduler backends.
+
+:class:`~repro.congest.network.SyncNetwork` defines *what* a CONGEST
+execution means; this module defines *how* one is driven. The split is:
+
+* :class:`MessageFabric` owns the per-message semantics every backend must
+  enforce identically — adjacency validation, the bandwidth budget, inbox
+  staging for next-round delivery, and :class:`~repro.congest.stats.
+  RoundStats` accounting (messages are charged at *send* time, keyed by the
+  send round).
+* :class:`SchedulerBackend` subclasses own the activation strategy — which
+  nodes run in a round, in which process. The contract is strict: every
+  backend must produce byte-identical results, round counts, and message
+  counts for conforming algorithms; only the *cost profile* (activations,
+  wall clock, parallelism) may differ. The equivalence suite in
+  ``tests/congest/test_scheduler.py`` enforces this across all backends.
+
+Two invariants make backend equivalence possible:
+
+* **Deterministic per-node randomness** — each node's ``ctx.rng`` stream is
+  derived from ``(run_seed, node_index)`` via
+  :func:`repro.util.rng.derive_node_rng`, never drawn from a shared
+  generator in iteration order. A node's stream is therefore independent of
+  scheduler, activation order, and worker process.
+* **Canonical inbox order** — within a round, activation follows the
+  graph's node order, so each inbox's insertion order (observable through
+  dict iteration) is sender-index order under every backend.
+
+The in-process backends live here (``event``, ``dense``); the
+multi-process ``sharded`` backend lives in :mod:`repro.congest.sharded`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.congest.stats import RoundStats
+from repro.util.bitsize import payload_bits
+from repro.util.errors import CongestViolation
+from repro.util.rng import derive_node_rng
+
+__all__ = [
+    "NodeContext",
+    "MessageFabric",
+    "SchedulerBackend",
+    "EventBackend",
+    "DenseBackend",
+]
+
+
+class NodeContext:
+    """Read-only view of a node's environment plus the keep-alive latch."""
+
+    __slots__ = ("node", "neighbors", "round", "num_nodes", "rng", "_keep_alive")
+
+    def __init__(
+        self,
+        node: int,
+        neighbors: tuple[int, ...],
+        num_nodes: int,
+        rng: random.Random,
+    ):
+        self.node = node
+        self.neighbors = neighbors
+        self.round = 0
+        self.num_nodes = num_nodes
+        self.rng = rng
+        self._keep_alive = False
+
+    def keep_alive(self) -> None:
+        """Prevent quiescence this round even without sending a message.
+
+        Needed by algorithms with internal timers (e.g. level-synchronized
+        phases) that must be woken again although the network is silent.
+        Under the event-driven and sharded schedulers this is also the only
+        way for a silent node to be activated next round.
+        """
+        self._keep_alive = True
+
+
+class MessageFabric:
+    """Message validation, staging, and accounting — one per executing context.
+
+    The in-process backends build one fabric for the whole graph; each
+    sharded worker builds one for its shard (recording only the messages its
+    nodes *send*, which partitions the totals across shards).
+    """
+
+    __slots__ = ("neighbor_sets", "bandwidth_bits", "enforce_bandwidth", "stats")
+
+    def __init__(
+        self,
+        neighbor_sets: dict[int, frozenset[int]],
+        bandwidth_bits: int,
+        enforce_bandwidth: bool,
+        stats: RoundStats,
+    ):
+        self.neighbor_sets = neighbor_sets
+        self.bandwidth_bits = bandwidth_bits
+        self.enforce_bandwidth = enforce_bandwidth
+        self.stats = stats
+
+    def validate(self, sender: int, target: int, payload: object) -> int:
+        """Check adjacency and the bit budget; return the payload's bit size.
+
+        Raises:
+            CongestViolation: on a non-neighbor target or an oversized
+                payload.
+        """
+        if target not in self.neighbor_sets[sender]:
+            raise CongestViolation(
+                f"node {sender} tried to message non-neighbor {target}"
+            )
+        bits = payload_bits(payload)
+        if self.enforce_bandwidth and bits > self.bandwidth_bits:
+            raise CongestViolation(
+                f"node {sender} sent a {bits}-bit message to {target}; "
+                f"budget is {self.bandwidth_bits} bits"
+            )
+        return bits
+
+    def deliver(
+        self,
+        sender: int,
+        outbox: dict[int, object],
+        inboxes: dict[int, dict[int, object]],
+        active: set,
+        round_no: int,
+    ) -> None:
+        """Validate ``sender``'s outbox and stage it for next-round delivery.
+
+        All targets are local (the in-process path); the sharded worker uses
+        :meth:`validate` directly and routes cross-shard targets itself.
+        """
+        stats = self.stats
+        for target, payload in outbox.items():
+            bits = self.validate(sender, target, payload)
+            inbox = inboxes.get(target)
+            if inbox is None:
+                inbox = inboxes[target] = {}
+                active.add(target)
+            inbox[sender] = payload
+            stats.record_message(sender, target, bits, round_no)
+
+
+class SchedulerBackend:
+    """One activation strategy for executing node algorithms.
+
+    Subclasses implement :meth:`execute`, which owns the whole run — round
+    0 (``on_start`` on every node, by definition), the round loop, and
+    result collection — and returns ``(results, stats)``. The network
+    object passed in exposes the topology snapshot (``_nodes``, ``_index``,
+    ``_neighbors``, ``_neighbor_sets``) and the model parameters
+    (``bandwidth_bits``, ``enforce_bandwidth``, ``workers``).
+    """
+
+    name = "abstract"
+
+    def execute(
+        self,
+        net,
+        algorithms: dict,
+        run_seed: int,
+        max_rounds: int,
+        raise_on_timeout: bool,
+    ) -> tuple[dict[int, object], RoundStats]:
+        raise NotImplementedError
+
+
+class _InProcessBackend(SchedulerBackend):
+    """Shared run scaffolding for the single-process backends."""
+
+    def execute(self, net, algorithms, run_seed, max_rounds, raise_on_timeout):
+        nodes = net._nodes
+        stats = RoundStats()
+        fabric = MessageFabric(
+            net._neighbor_sets, net.bandwidth_bits, net.enforce_bandwidth, stats
+        )
+        contexts = {
+            v: NodeContext(
+                v, net._neighbors[v], len(nodes), derive_node_rng(run_seed, i)
+            )
+            for i, v in enumerate(nodes)
+        }
+        # Initial sends (round 0): inboxes are allocated lazily — only
+        # receivers get a dict — and the active set seeds round 1.
+        inboxes: dict[int, dict[int, object]] = {}
+        active: set = set()
+        for v in nodes:
+            ctx = contexts[v]
+            outbox = algorithms[v].on_start(ctx) or {}
+            if outbox:
+                fabric.deliver(v, outbox, inboxes, active, 0)
+            if ctx._keep_alive:
+                active.add(v)
+        self._loop(
+            net, algorithms, contexts, fabric, inboxes, active, stats,
+            max_rounds, raise_on_timeout,
+        )
+        results = {v: algorithms[v].result() for v in nodes}
+        return results, stats
+
+    def _loop(
+        self, net, algorithms, contexts, fabric, inboxes, active, stats,
+        max_rounds, raise_on_timeout,
+    ) -> None:
+        raise NotImplementedError
+
+
+class EventBackend(_InProcessBackend):
+    """The event-driven *active-set* scheduler (default).
+
+    Per round, only nodes with a non-empty inbox or a raised keep-alive
+    latch are activated (via ``on_wake``); quiescence falls out of an empty
+    active set. Total activations are ``O(total messages + keep-alives)``
+    instead of the lockstep ``O(n * rounds)``.
+    """
+
+    name = "event"
+
+    def _loop(
+        self, net, algorithms, contexts, fabric, inboxes, active, stats,
+        max_rounds, raise_on_timeout,
+    ) -> None:
+        sort_key = net._index.__getitem__
+        round_no = 0
+        while active:
+            if round_no >= max_rounds:
+                if raise_on_timeout:
+                    raise CongestViolation(
+                        f"execution did not quiesce within {max_rounds} rounds"
+                    )
+                break
+            round_no += 1
+            stats.rounds = round_no
+            # Activation order follows the graph's node order so inbox
+            # insertion order — observable by algorithms — matches the
+            # dense scheduler byte for byte.
+            current = sorted(active, key=sort_key)
+            current_inboxes = inboxes
+            inboxes = {}
+            active = set()
+            for v in current:
+                ctx = contexts[v]
+                ctx.round = round_no
+                ctx._keep_alive = False
+                inbox = current_inboxes.get(v) or {}
+                outbox = algorithms[v].on_wake(ctx, inbox) or {}
+                stats.activations += 1
+                if outbox:
+                    fabric.deliver(v, outbox, inboxes, active, round_no)
+                if ctx._keep_alive:
+                    active.add(v)
+
+
+class DenseBackend(_InProcessBackend):
+    """The seed lockstep loop: ``on_round`` on every node every round.
+
+    Kept as the reference semantics for equivalence testing and for exotic
+    algorithms that act spontaneously on empty inboxes without latching
+    keep-alive (none in this library).
+    """
+
+    name = "dense"
+
+    def _loop(
+        self, net, algorithms, contexts, fabric, inboxes, active, stats,
+        max_rounds, raise_on_timeout,
+    ) -> None:
+        nodes = net._nodes
+        round_no = 0
+        while active:
+            if round_no >= max_rounds:
+                if raise_on_timeout:
+                    raise CongestViolation(
+                        f"execution did not quiesce within {max_rounds} rounds"
+                    )
+                break
+            round_no += 1
+            stats.rounds = round_no
+            current_inboxes = inboxes
+            inboxes = {}
+            active = set()
+            for v in nodes:
+                ctx = contexts[v]
+                ctx.round = round_no
+                ctx._keep_alive = False
+                outbox = algorithms[v].on_round(ctx, current_inboxes.get(v) or {}) or {}
+                stats.activations += 1
+                if outbox:
+                    fabric.deliver(v, outbox, inboxes, active, round_no)
+                if ctx._keep_alive:
+                    active.add(v)

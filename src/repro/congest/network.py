@@ -1,30 +1,53 @@
-"""The synchronous network scheduler.
+"""The synchronous network: shared semantics behind pluggable scheduler backends.
 
 One :class:`SyncNetwork` wraps a graph and executes a dictionary of
 :class:`~repro.congest.node.NodeAlgorithm` instances in lockstep rounds:
 
-* round ``r``: every node's ``on_round`` consumes the messages sent to it
-  in round ``r - 1`` and emits at most one message per neighbor;
+* round ``r``: every node's ``on_round``/``on_wake`` consumes the messages
+  sent to it in round ``r - 1`` and emits at most one message per neighbor;
 * messages are validated against adjacency and the per-message bit budget;
 * the run stops at quiescence (no messages in flight, no node keep-alive)
   or at ``max_rounds``.
 
-Two schedulers implement those semantics:
+Backend architecture
+--------------------
 
-* ``"event"`` (default) — the event-driven *active-set* scheduler.  Per
-  round, only nodes with a non-empty inbox or a raised keep-alive latch
-  are activated (via :meth:`~repro.congest.node.NodeAlgorithm.on_wake`,
-  which defaults to ``on_round``); quiescence falls out of an empty active
-  set.  A silent node simply observes nothing — exactly what it would have
-  observed under lockstep — so results, round counts, and message counts
-  are identical to the dense scheduler, but total node activations are
-  ``O(total messages + keep-alives)`` instead of ``O(n * rounds)``.  On
-  thin-frontier workloads (BFS waves, sparse floods) this is the
-  difference between ``O(m)`` and ``O(n * D)`` simulator work.
-* ``"dense"`` — the seed lockstep loop: ``on_round`` on every node every
-  round.  Kept as the reference semantics for equivalence testing and for
-  exotic algorithms that act spontaneously on empty inboxes without
-  latching keep-alive (none in this library).
+``SyncNetwork`` owns the *semantics* — topology snapshot, bandwidth budget,
+algorithm coverage, the run seed — and delegates *execution* to a
+:class:`~repro.congest.engine.SchedulerBackend` chosen by name. The shared
+per-message rules (outbox validation, bandwidth enforcement, inbox staging,
+:class:`~repro.congest.stats.RoundStats` accounting, the quiescence rule)
+live in one place, :class:`~repro.congest.engine.MessageFabric`, so every
+backend enforces them identically. Three backends are registered:
+
+* ``"event"`` (default) — the event-driven *active-set* scheduler
+  (:class:`~repro.congest.engine.EventBackend`). Per round, only nodes
+  with a non-empty inbox or a raised keep-alive latch are activated (via
+  :meth:`~repro.congest.node.NodeAlgorithm.on_wake`, which defaults to
+  ``on_round``); quiescence falls out of an empty active set. Total node
+  activations are ``O(total messages + keep-alives)`` instead of
+  ``O(n * rounds)``.
+* ``"dense"`` — the seed lockstep loop
+  (:class:`~repro.congest.engine.DenseBackend`): ``on_round`` on every node
+  every round. The reference semantics for equivalence testing.
+* ``"sharded"`` — the multi-process backend
+  (:class:`~repro.congest.sharded.ShardedBackend`): nodes are partitioned
+  into BFS-contiguous shards (one per worker process, see
+  :func:`repro.graphs.partition.bfs_blocks`), each round runs the event
+  activation rule shard-locally, and cross-shard messages are exchanged as
+  per-round batches over pipes with the parent process as barrier and
+  router. Per-shard :class:`~repro.congest.stats.RoundStats` are merged
+  (rounds max, counters sum) at the end. Pass ``workers=`` to pin the
+  process count.
+
+The backend contract is strict: results, round counts, message counts,
+bits, and per-edge congestion must be byte-identical across backends for
+any conforming algorithm and any worker count (``tests/congest/
+test_scheduler.py`` and ``tests/congest/test_sharded.py`` enforce this);
+only the cost profile — activations, wall-clock, core utilisation — may
+differ. Two invariants carry the guarantee: per-node RNG streams are
+derived from ``(run_seed, node_index)`` (never drawn in iteration order),
+and inboxes are always materialized in sender-index order.
 
 The per-message budget defaults to ``BANDWIDTH_FACTOR * ceil(log2 n)`` bits
 — the constant in CONGEST's ``O(log n)`` is arbitrary, but fixing one keeps
@@ -39,10 +62,11 @@ import random
 
 import networkx as nx
 
+from repro.congest.engine import DenseBackend, EventBackend, NodeContext
 from repro.congest.node import NodeAlgorithm
+from repro.congest.sharded import ShardedBackend
 from repro.congest.stats import RoundStats
-from repro.util.bitsize import payload_bits
-from repro.util.errors import CongestViolation, GraphStructureError
+from repro.util.errors import GraphStructureError
 from repro.util.rng import ensure_rng
 
 __all__ = [
@@ -50,6 +74,7 @@ __all__ = [
     "NodeContext",
     "BANDWIDTH_FACTOR",
     "SCHEDULERS",
+    "BACKENDS",
     "validate_scheduler",
 ]
 
@@ -58,52 +83,35 @@ __all__ = [
 # algorithm in this library, fits comfortably.
 BANDWIDTH_FACTOR = 8
 
-# Recognised scheduler names (see module docstring).
-SCHEDULERS = ("event", "dense")
+# Scheduler-backend registry; SCHEDULERS is the stable name tuple used in
+# error messages and argument validation.
+BACKENDS = {
+    "event": EventBackend,
+    "dense": DenseBackend,
+    "sharded": ShardedBackend,
+}
+SCHEDULERS = tuple(BACKENDS)
 
 
-def validate_scheduler(scheduler: str, exc: type[Exception] = ValueError) -> None:
-    """Raise ``exc`` if ``scheduler`` is not a recognised scheduler name.
+def validate_scheduler(
+    scheduler: str,
+    exc: type[Exception] = ValueError,
+    workers: int | None = None,
+) -> None:
+    """Raise ``exc`` if ``scheduler`` (or ``workers``) is invalid.
 
-    API boundaries that thread a ``scheduler`` argument down to
+    API boundaries that thread ``scheduler``/``workers`` arguments down to
     :class:`SyncNetwork` call this upfront (typically with their own error
     type) so a typo fails fast instead of deep inside — or, worse, being
-    silently ignored on a code path that never builds a network.
+    silently ignored on a code path that never builds a network. ``workers``
+    may be ``None`` (backend default) or a positive process count.
     """
     if scheduler not in SCHEDULERS:
         raise exc(
             f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}"
         )
-
-
-class NodeContext:
-    """Read-only view of a node's environment plus the keep-alive latch."""
-
-    __slots__ = ("node", "neighbors", "round", "num_nodes", "rng", "_keep_alive")
-
-    def __init__(
-        self,
-        node: int,
-        neighbors: tuple[int, ...],
-        num_nodes: int,
-        rng: random.Random,
-    ):
-        self.node = node
-        self.neighbors = neighbors
-        self.round = 0
-        self.num_nodes = num_nodes
-        self.rng = rng
-        self._keep_alive = False
-
-    def keep_alive(self) -> None:
-        """Prevent quiescence this round even without sending a message.
-
-        Needed by algorithms with internal timers (e.g. level-synchronized
-        phases) that must be woken again although the network is silent.
-        Under the event-driven scheduler this is also the only way for a
-        silent node to be activated next round.
-        """
-        self._keep_alive = True
+    if workers is not None and workers < 1:
+        raise exc(f"workers must be a positive process count, got {workers}")
 
 
 class SyncNetwork:
@@ -115,14 +123,18 @@ class SyncNetwork:
             ``BANDWIDTH_FACTOR * ceil(log2 n)``.
         enforce_bandwidth: disable only for experiments that deliberately
             exceed the model (never done in this library's algorithms).
-        rng: seed or generator feeding every node's ``ctx.rng``.
-        scheduler: ``"event"`` (active-set, default) or ``"dense"``
-            (lockstep reference); see the module docstring.
+        rng: seed or generator; one value is drawn per run to derive every
+            node's ``ctx.rng`` stream from ``(run_seed, node_index)``.
+        scheduler: ``"event"`` (active-set, default), ``"dense"``
+            (lockstep reference), or ``"sharded"`` (multi-process); see the
+            module docstring.
+        workers: process count for the sharded backend (default:
+            ``min(4, cpu count)``); ignored by the in-process backends.
 
     Adjacency, neighbor tuples, and the node index used for deterministic
-    active-set ordering are precomputed once per :meth:`run` (so graph
-    mutations between runs are honored, as before), and the per-round loop
-    does no graph lookups or per-round dict rebuilding.
+    activation ordering are precomputed once per :meth:`run` (so graph
+    mutations between runs are honored, as before), and the per-round loops
+    do no graph lookups or per-round dict rebuilding.
     """
 
     def __init__(
@@ -132,10 +144,11 @@ class SyncNetwork:
         enforce_bandwidth: bool = True,
         rng: int | random.Random | None = None,
         scheduler: str = "event",
+        workers: int | None = None,
     ):
         if graph.number_of_nodes() == 0:
             raise GraphStructureError("cannot build a network on an empty graph")
-        validate_scheduler(scheduler)
+        validate_scheduler(scheduler, workers=workers)
         self.graph = graph
         n = graph.number_of_nodes()
         if bandwidth_bits is None:
@@ -143,11 +156,12 @@ class SyncNetwork:
         self.bandwidth_bits = bandwidth_bits
         self.enforce_bandwidth = enforce_bandwidth
         self.scheduler = scheduler
+        self.workers = workers
         self._rng = ensure_rng(rng)
         self._build_tables()
 
     def _build_tables(self) -> None:
-        """Snapshot the topology into flat lookup tables for the hot loop."""
+        """Snapshot the topology into flat lookup tables for the hot loops."""
         graph = self.graph
         self._nodes: tuple = tuple(graph.nodes())
         self._index: dict = {v: i for i, v in enumerate(self._nodes)}
@@ -177,143 +191,17 @@ class SyncNetwork:
 
         Raises:
             GraphStructureError: if ``algorithms`` does not cover the nodes.
-            CongestViolation: on model violations or timeout.
+            CongestViolation: on model violations or timeout (raised in the
+                caller even when the violating node ran in a sharded
+                worker process).
         """
         # Refresh the topology snapshot so callers that mutated the graph
         # after construction (the seed contract) see their changes.
         self._build_tables()
-        nodes = self._nodes
-        if set(algorithms) != set(nodes):
+        if set(algorithms) != set(self._nodes):
             raise GraphStructureError("algorithms must cover exactly the graph nodes")
-        contexts = {
-            v: NodeContext(
-                v,
-                self._neighbors[v],
-                len(nodes),
-                random.Random(self._rng.randrange(2**62)),
-            )
-            for v in nodes
-        }
-        stats = RoundStats()
-        # Initial sends (round 0): on_start runs on every node, by definition.
-        # Inboxes are allocated lazily — only receivers get a dict — and the
-        # active set seeds the first scheduled round.
-        inboxes: dict[int, dict[int, object]] = {}
-        active: set = set()
-        for v in nodes:
-            ctx = contexts[v]
-            outbox = algorithms[v].on_start(ctx) or {}
-            if outbox:
-                self._deliver(v, outbox, inboxes, active, stats, 0)
-            if ctx._keep_alive:
-                active.add(v)
-
-        if self.scheduler == "dense":
-            self._run_dense(
-                algorithms, contexts, inboxes, active, stats, max_rounds, raise_on_timeout
-            )
-        else:
-            self._run_event(
-                algorithms, contexts, inboxes, active, stats, max_rounds, raise_on_timeout
-            )
-        results = {v: algorithms[v].result() for v in nodes}
-        return results, stats
-
-    # ------------------------------------------------------------------
-    # Scheduler loops.  Both share delivery/validation (_deliver) and the
-    # quiescence rule: the run is alive iff some node received a message or
-    # latched keep-alive in the previous round — exactly the seed's
-    # ``any_alive`` flag, so round counts are identical across schedulers.
-    # ------------------------------------------------------------------
-
-    def _run_event(
-        self, algorithms, contexts, inboxes, active, stats, max_rounds, raise_on_timeout
-    ) -> None:
-        sort_key = self._index.__getitem__
-        round_no = 0
-        while active:
-            if round_no >= max_rounds:
-                if raise_on_timeout:
-                    raise CongestViolation(
-                        f"execution did not quiesce within {max_rounds} rounds"
-                    )
-                break
-            round_no += 1
-            stats.rounds = round_no
-            # Activation order follows the graph's node order so inbox
-            # insertion order — observable by algorithms — matches the
-            # dense scheduler byte for byte.
-            current = sorted(active, key=sort_key)
-            current_inboxes = inboxes
-            inboxes = {}
-            active = set()
-            for v in current:
-                ctx = contexts[v]
-                ctx.round = round_no
-                ctx._keep_alive = False
-                inbox = current_inboxes.get(v) or {}
-                outbox = algorithms[v].on_wake(ctx, inbox) or {}
-                stats.activations += 1
-                if outbox:
-                    self._deliver(v, outbox, inboxes, active, stats, round_no)
-                if ctx._keep_alive:
-                    active.add(v)
-
-    def _run_dense(
-        self, algorithms, contexts, inboxes, active, stats, max_rounds, raise_on_timeout
-    ) -> None:
-        nodes = self._nodes
-        round_no = 0
-        while active:
-            if round_no >= max_rounds:
-                if raise_on_timeout:
-                    raise CongestViolation(
-                        f"execution did not quiesce within {max_rounds} rounds"
-                    )
-                break
-            round_no += 1
-            stats.rounds = round_no
-            current_inboxes = inboxes
-            inboxes = {}
-            active = set()
-            for v in nodes:
-                ctx = contexts[v]
-                ctx.round = round_no
-                ctx._keep_alive = False
-                outbox = algorithms[v].on_round(ctx, current_inboxes.get(v) or {}) or {}
-                stats.activations += 1
-                if outbox:
-                    self._deliver(v, outbox, inboxes, active, stats, round_no)
-                if ctx._keep_alive:
-                    active.add(v)
-
-    def _deliver(
-        self,
-        sender: int,
-        outbox: dict[int, object],
-        inboxes: dict[int, dict[int, object]],
-        active: set,
-        stats: RoundStats,
-        round_no: int,
-    ) -> None:
-        """Validate ``sender``'s outbox and stage it for next-round delivery."""
-        neighbor_set = self._neighbor_sets[sender]
-        enforce = self.enforce_bandwidth
-        budget = self.bandwidth_bits
-        for target, payload in outbox.items():
-            if target not in neighbor_set:
-                raise CongestViolation(
-                    f"node {sender} tried to message non-neighbor {target}"
-                )
-            bits = payload_bits(payload)
-            if enforce and bits > budget:
-                raise CongestViolation(
-                    f"node {sender} sent a {bits}-bit message to {target}; "
-                    f"budget is {budget} bits"
-                )
-            inbox = inboxes.get(target)
-            if inbox is None:
-                inbox = inboxes[target] = {}
-                active.add(target)
-            inbox[sender] = payload
-            stats.record_message(sender, target, bits, round_no)
+        # One draw per run: every per-node stream derives from this value
+        # and the node's index, independent of backend and worker count.
+        run_seed = self._rng.randrange(2**62)
+        backend = BACKENDS[self.scheduler]()
+        return backend.execute(self, algorithms, run_seed, max_rounds, raise_on_timeout)

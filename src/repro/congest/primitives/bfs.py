@@ -74,6 +74,7 @@ def distributed_bfs(
     root: int,
     rng: int | random.Random | None = None,
     scheduler: str = "event",
+    workers: int | None = None,
 ) -> tuple[RootedTree, RoundStats]:
     """Build a BFS tree of ``graph`` from ``root`` in the CONGEST model.
 
@@ -87,7 +88,7 @@ def distributed_bfs(
     """
     if root not in graph:
         raise GraphStructureError(f"root {root} is not in the graph")
-    network = SyncNetwork(graph, rng=rng, scheduler=scheduler)
+    network = SyncNetwork(graph, rng=rng, scheduler=scheduler, workers=workers)
     algorithms = {v: BfsNode(v, v == root) for v in graph.nodes()}
     results, stats = network.run(algorithms)
     parent = {v: results[v]["parent"] for v in graph.nodes()}

@@ -8,6 +8,12 @@ Convergecast payloads must stay within the CONGEST bit budget, so the
 combiner must produce constant-size aggregates (min / max / sum / count —
 exactly the aggregates of the part-wise aggregation problem,
 Definition 2.1).
+
+Both node classes are *event-native*: they override ``on_wake`` directly
+(neither ever latches keep-alive, so a wake-up always carries messages to
+observe) and keep ``on_round`` only as the dense scheduler's lockstep
+entry point. The dense/event/sharded equivalence suite pins the two code
+paths to identical behavior.
 """
 
 from __future__ import annotations
@@ -62,9 +68,10 @@ def tree_broadcast(
     value: object,
     rng: int | random.Random | None = None,
     scheduler: str = "event",
+    workers: int | None = None,
 ) -> tuple[dict[int, object], RoundStats]:
     """Send ``value`` from the tree root to every node (``depth`` rounds)."""
-    network = SyncNetwork(graph, rng=rng, scheduler=scheduler)
+    network = SyncNetwork(graph, rng=rng, scheduler=scheduler, workers=workers)
     algorithms = {v: _BroadcastNode(v, tree, value) for v in graph.nodes()}
     return network.run(algorithms)
 
@@ -101,6 +108,11 @@ class _AggregateNode(NodeAlgorithm):
             self.accumulator = self.combine(self.accumulator, payload)
         return self._ready_outbox()
 
+    # Event-native: this node never latches keep-alive, so a wake-up always
+    # carries child reports, and on_round already has no empty-inbox polling
+    # branch to skip — the native activation *is* the lockstep body.
+    on_wake = on_round
+
     def result(self):
         return self.accumulator
 
@@ -112,13 +124,14 @@ def tree_aggregate(
     combine: Callable[[object, object], object],
     rng: int | random.Random | None = None,
     scheduler: str = "event",
+    workers: int | None = None,
 ) -> tuple[object, RoundStats]:
     """Combine per-node ``values`` up the tree; the root's total is returned.
 
     ``combine`` must be associative and commutative and keep payloads within
     the bit budget (ints, small tuples).
     """
-    network = SyncNetwork(graph, rng=rng, scheduler=scheduler)
+    network = SyncNetwork(graph, rng=rng, scheduler=scheduler, workers=workers)
     algorithms = {
         v: _AggregateNode(v, tree, values[v], combine) for v in graph.nodes()
     }

@@ -59,6 +59,7 @@ def elect_leader(
     graph: nx.Graph,
     rng: int | random.Random | None = None,
     scheduler: str = "event",
+    workers: int | None = None,
 ) -> tuple[int, RoundStats]:
     """Elect the minimum-id node as leader; every node learns its id.
 
@@ -71,7 +72,7 @@ def elect_leader(
     """
     if graph.number_of_nodes() == 0:
         raise GraphStructureError("cannot elect a leader on an empty graph")
-    network = SyncNetwork(graph, rng=rng, scheduler=scheduler)
+    network = SyncNetwork(graph, rng=rng, scheduler=scheduler, workers=workers)
     algorithms = {v: ElectionNode(v) for v in graph.nodes()}
     results, stats = network.run(algorithms)
     leader = min(graph.nodes())

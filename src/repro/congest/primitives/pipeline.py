@@ -65,6 +65,7 @@ def pipelined_top_k(
     k: int,
     rng: int | random.Random | None = None,
     scheduler: str = "event",
+    workers: int | None = None,
 ) -> tuple[tuple, RoundStats]:
     """Collect the k globally-smallest items at the tree root.
 
@@ -83,7 +84,7 @@ def pipelined_top_k(
     if k < 1:
         raise GraphStructureError(f"k must be positive, got {k}")
     horizon = tree.max_depth + k + 2
-    network = SyncNetwork(graph, rng=rng, scheduler=scheduler)
+    network = SyncNetwork(graph, rng=rng, scheduler=scheduler, workers=workers)
     algorithms = {
         v: TopKNode(v, tree, list(items.get(v, [])), k, horizon)
         for v in graph.nodes()

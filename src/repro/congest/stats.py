@@ -83,6 +83,31 @@ class RoundStats:
             phases=phases,
         )
 
+    def merge(self, other: "RoundStats") -> "RoundStats":
+        """Parallel composition: counters sum, rounds take the *max*.
+
+        This is how per-shard stats from the sharded scheduler combine:
+        shards advance through the same global rounds in lockstep, so their
+        round counts overlap (max) while their activations, messages, bits,
+        and per-edge/per-round counters partition the totals (sum). The
+        operation is associative and commutative, so any merge order over
+        the shard list yields the same totals (tested).
+        """
+        phases = dict(self.phases)
+        for name, stats in other.phases.items():
+            phases[name] = phases[name].merge(stats) if name in phases else stats
+        return RoundStats(
+            rounds=max(self.rounds, other.rounds),
+            messages=self.messages + other.messages,
+            message_bits=self.message_bits + other.message_bits,
+            activations=self.activations + other.activations,
+            messages_by_round=_merge_counts(
+                self.messages_by_round, other.messages_by_round
+            ),
+            edge_messages=_merge_counts(self.edge_messages, other.edge_messages),
+            phases=phases,
+        )
+
     def add_phase(self, name: str, stats: "RoundStats") -> None:
         """Record ``stats`` as a named phase and add it to the totals.
 

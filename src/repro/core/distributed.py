@@ -167,6 +167,7 @@ def distributed_partial_shortcut(
     run_verification: bool = True,
     elect_root: bool = False,
     scheduler: str = "event",
+    workers: int | None = None,
 ) -> DistributedShortcutResult:
     """Run the full Theorem 1.5 pipeline; all round counts are measured.
 
@@ -184,8 +185,10 @@ def distributed_partial_shortcut(
             sweep-only microbenchmarks).
         elect_root: run a real distributed leader election for the root
             instead of assuming one (adds a measured ``O(D)``-round phase).
-        scheduler: simulator scheduler for every phase (``"event"`` or
-            ``"dense"``; see :mod:`repro.congest`).
+        scheduler: simulator scheduler for every phase (``"event"``,
+            ``"dense"``, or ``"sharded"``; see :mod:`repro.congest`).
+        workers: process count for the sharded scheduler (``None`` =
+            backend default).
 
     Raises:
         ShortcutError: if ``delta <= 0``, or if both ``root`` and
@@ -193,7 +196,7 @@ def distributed_partial_shortcut(
     """
     if delta <= 0:
         raise ShortcutError(f"delta must be positive, got {delta}")
-    validate_scheduler(scheduler, ShortcutError)
+    validate_scheduler(scheduler, ShortcutError, workers=workers)
     rng = ensure_rng(rng)
     stats = RoundStats()
     if elect_root:
@@ -201,19 +204,23 @@ def distributed_partial_shortcut(
             raise ShortcutError("pass either root or elect_root, not both")
         from repro.congest.primitives.election import elect_leader
 
-        root, election_stats = elect_leader(graph, rng=rng, scheduler=scheduler)
+        root, election_stats = elect_leader(
+            graph, rng=rng, scheduler=scheduler, workers=workers
+        )
         stats.add_phase("election", election_stats)
     elif root is None:
         root = min(graph.nodes())
 
     # Phase 1: BFS tree.
-    tree, bfs_stats = distributed_bfs(graph, root, rng=rng, scheduler=scheduler)
+    tree, bfs_stats = distributed_bfs(
+        graph, root, rng=rng, scheduler=scheduler, workers=workers
+    )
     stats.add_phase("bfs", bfs_stats)
 
     # Phase 2: depth convergecast + parameter broadcast.
     depth_values = {v: tree.depth_of(v) for v in graph.nodes()}
     depth_max, up_stats = tree_aggregate(
-        graph, tree, depth_values, max, rng=rng, scheduler=scheduler
+        graph, tree, depth_values, max, rng=rng, scheduler=scheduler, workers=workers
     )
     depth_max = max(depth_max, 1)
     n = graph.number_of_nodes()
@@ -234,12 +241,14 @@ def distributed_partial_shortcut(
     # Three scalar broadcasts keep each message within the bit budget.
     meta_stats = up_stats
     for scalar in (seed, congestion_budget, tau):
-        _, down_stats = tree_broadcast(graph, tree, scalar, rng=rng, scheduler=scheduler)
+        _, down_stats = tree_broadcast(
+            graph, tree, scalar, rng=rng, scheduler=scheduler, workers=workers
+        )
         meta_stats = meta_stats + down_stats
     stats.add_phase("meta", meta_stats)
 
     # Phase 3: the sampled upward sweep.
-    network = SyncNetwork(graph, rng=rng, scheduler=scheduler)
+    network = SyncNetwork(graph, rng=rng, scheduler=scheduler, workers=workers)
     algorithms = {
         v: SweepNode(
             node=v,

@@ -9,6 +9,12 @@ the distributed shortcut construction (Theorem 1.5): every node of a part
 must make the same inclusion decision without intra-part communication, so
 the decision is a deterministic hash of ``(part_id, seed)`` rather than a
 per-node coin flip.
+
+:func:`derive_node_rng` plays the same role for the simulator's per-node
+randomness: each node's stream is a deterministic function of
+``(run_seed, node_index)``, so the streams are identical no matter which
+scheduler backend runs the node, in which order, or in which worker
+process.
 """
 
 from __future__ import annotations
@@ -16,7 +22,7 @@ from __future__ import annotations
 import hashlib
 import random
 
-__all__ = ["ensure_rng", "part_sample_hash"]
+__all__ = ["ensure_rng", "part_sample_hash", "derive_node_rng"]
 
 
 def ensure_rng(seed: int | random.Random | None) -> random.Random:
@@ -28,6 +34,19 @@ def ensure_rng(seed: int | random.Random | None) -> random.Random:
     if isinstance(seed, random.Random):
         return seed
     return random.Random(seed)
+
+
+def derive_node_rng(run_seed: int, node_index: int) -> random.Random:
+    """A per-node generator derived deterministically from the run seed.
+
+    The seed is SHA-256 over ``(run_seed, node_index)``, so a node's stream
+    depends only on the run and its position in the graph's node order —
+    never on global iteration order, scheduler backend, or which worker
+    process hosts the node. This is what lets the sharded scheduler produce
+    byte-identical executions for any worker count.
+    """
+    digest = hashlib.sha256(f"node:{run_seed}:{node_index}".encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
 
 
 def part_sample_hash(part_id: int, seed: int, probability: float) -> bool:

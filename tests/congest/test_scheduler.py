@@ -1,14 +1,16 @@
-"""Tests for the event-driven active-set scheduler.
+"""Tests for the scheduler backends (event-driven, dense, sharded).
 
 Two concerns:
 
 * quiescence edge cases — keep-alive-only nodes, ``on_start``-only runs,
   mid-flight sampling with ``raise_on_timeout=False`` — behave identically
   to the lockstep semantics;
-* equivalence — the event scheduler produces byte-identical results,
+* equivalence — every scheduler backend produces byte-identical results,
   round counts, and message counts to the dense (seed) scheduler across
-  the primitive suite, while doing far fewer node activations on
-  thin-frontier instances.
+  the primitive suite, while the event/sharded backends do far fewer node
+  activations on thin-frontier instances. The sharded backend runs with 2
+  worker processes here; ``tests/congest/test_sharded.py`` covers its
+  worker-count edge cases.
 """
 
 import networkx as nx
@@ -171,6 +173,11 @@ def _parents(tree):
     return {v: tree.parent_of(v) for v in tree.nodes()}
 
 
+# Every backend must match the dense reference byte for byte; the sharded
+# backend runs with 2 worker processes to exercise real cross-shard traffic.
+BACKENDS = [("dense", None), ("event", None), ("sharded", 2)]
+
+
 class TestSchedulerEquivalence:
     GRAPHS = {
         "path": nx.path_graph(17),
@@ -184,45 +191,57 @@ class TestSchedulerEquivalence:
     def test_bfs_equivalent(self, name):
         graph = self.GRAPHS[name]
         dense_tree, dense_stats = distributed_bfs(graph, 0, rng=5, scheduler="dense")
-        event_tree, event_stats = distributed_bfs(graph, 0, rng=5, scheduler="event")
-        assert _parents(dense_tree) == _parents(event_tree)
-        assert _equiv_stats(dense_stats) == _equiv_stats(event_stats)
-        assert dense_stats.edge_messages == event_stats.edge_messages
-        assert event_stats.activations <= dense_stats.activations
+        for scheduler, workers in BACKENDS[1:]:
+            tree, stats = distributed_bfs(
+                graph, 0, rng=5, scheduler=scheduler, workers=workers
+            )
+            assert _parents(dense_tree) == _parents(tree)
+            assert _equiv_stats(dense_stats) == _equiv_stats(stats)
+            assert dense_stats.edge_messages == stats.edge_messages
+            assert stats.activations <= dense_stats.activations
 
     @pytest.mark.parametrize("name", sorted(GRAPHS))
     def test_election_equivalent(self, name):
         graph = self.GRAPHS[name]
-        dense = elect_leader(graph, rng=3, scheduler="dense")
-        event = elect_leader(graph, rng=3, scheduler="event")
-        assert dense[0] == event[0]
-        assert _equiv_stats(dense[1]) == _equiv_stats(event[1])
+        outcomes = [
+            elect_leader(graph, rng=3, scheduler=scheduler, workers=workers)
+            for scheduler, workers in BACKENDS
+        ]
+        leaders = {leader for leader, _ in outcomes}
+        assert len(leaders) == 1
+        assert len({_equiv_stats(stats) for _, stats in outcomes}) == 1
 
     @pytest.mark.parametrize("name", sorted(GRAPHS))
     def test_broadcast_and_aggregate_equivalent(self, name):
         graph = self.GRAPHS[name]
         tree = bfs_tree(graph, root=0)
         outcomes = {}
-        for scheduler in ("dense", "event"):
-            values, b_stats = tree_broadcast(graph, tree, 42, rng=1, scheduler=scheduler)
+        for scheduler, workers in BACKENDS:
+            values, b_stats = tree_broadcast(
+                graph, tree, 42, rng=1, scheduler=scheduler, workers=workers
+            )
             total, a_stats = tree_aggregate(
                 graph, tree, {v: 1 for v in graph}, lambda a, b: a + b,
-                rng=1, scheduler=scheduler,
+                rng=1, scheduler=scheduler, workers=workers,
             )
             outcomes[scheduler] = (
                 values, total, _equiv_stats(b_stats), _equiv_stats(a_stats)
             )
-        assert outcomes["dense"] == outcomes["event"]
+        assert outcomes["dense"] == outcomes["event"] == outcomes["sharded"]
 
     @pytest.mark.parametrize("name", sorted(GRAPHS))
     def test_pipelined_top_k_equivalent(self, name):
         graph = self.GRAPHS[name]
         tree = bfs_tree(graph, root=0)
         items = {v: [v * 3 + 1, 100 + v] for v in graph}
-        dense = pipelined_top_k(graph, tree, items, k=4, rng=2, scheduler="dense")
-        event = pipelined_top_k(graph, tree, items, k=4, rng=2, scheduler="event")
-        assert dense[0] == event[0]
-        assert _equiv_stats(dense[1]) == _equiv_stats(event[1])
+        outcomes = [
+            pipelined_top_k(
+                graph, tree, items, k=4, rng=2, scheduler=scheduler, workers=workers
+            )
+            for scheduler, workers in BACKENDS
+        ]
+        assert len({top for top, _ in outcomes}) == 1
+        assert len({_equiv_stats(stats) for _, stats in outcomes}) == 1
 
     def test_bellman_ford_equivalent(self):
         from repro.apps.sssp import bellman_ford_sssp
@@ -232,10 +251,16 @@ class TestSchedulerEquivalence:
         weights = {
             canonical_edge(u, v): (u * 7 + v * 3) % 11 + 1 for u, v in graph.edges()
         }
-        dense = bellman_ford_sssp(graph, 0, weights, rng=4, scheduler="dense")
-        event = bellman_ford_sssp(graph, 0, weights, rng=4, scheduler="event")
-        assert dense[0] == event[0]
-        assert _equiv_stats(dense[1]) == _equiv_stats(event[1])
+        outcomes = [
+            bellman_ford_sssp(
+                graph, 0, weights, rng=4, scheduler=scheduler, workers=workers
+            )
+            for scheduler, workers in BACKENDS
+        ]
+        reference = outcomes[0]
+        for distances, stats in outcomes[1:]:
+            assert distances == reference[0]
+            assert _equiv_stats(stats) == _equiv_stats(reference[1])
 
     def test_distributed_shortcut_pipeline_equivalent(self):
         from repro.core.distributed import distributed_partial_shortcut
@@ -247,13 +272,15 @@ class TestSchedulerEquivalence:
         dense = distributed_partial_shortcut(
             graph, partition, delta=3.0, rng=7, scheduler="dense"
         )
-        event = distributed_partial_shortcut(
-            graph, partition, delta=3.0, rng=7, scheduler="event"
-        )
-        assert dense.marked == event.marked
-        assert dense.satisfied == event.satisfied
-        assert dense.params == event.params
-        assert _equiv_stats(dense.stats) == _equiv_stats(event.stats)
+        for scheduler, workers in BACKENDS[1:]:
+            result = distributed_partial_shortcut(
+                graph, partition, delta=3.0, rng=7, scheduler=scheduler,
+                workers=workers,
+            )
+            assert dense.marked == result.marked
+            assert dense.satisfied == result.satisfied
+            assert dense.params == result.params
+            assert _equiv_stats(dense.stats) == _equiv_stats(result.stats)
 
     def test_thin_frontier_activation_win(self):
         # A broom: star whose center hangs off a long path.  The dense

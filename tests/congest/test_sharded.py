@@ -1,0 +1,257 @@
+"""Tests for the sharded multi-process scheduler backend.
+
+Four concerns:
+
+* byte-for-byte equivalence with the event backend at every worker count,
+  including ``workers=1`` and worker counts exceeding the node count;
+* determinism of per-node RNG streams across backends and worker counts
+  (regression for the shared-generator ordering hazard: streams used to be
+  drawn from one generator in iteration order);
+* failure behavior — a ``CongestViolation`` raised inside a worker process
+  (oversized payload, non-neighbor send, timeout) must propagate to the
+  caller, never deadlock;
+* ``RoundStats.merge`` algebra (associativity, commutativity, max-rounds
+  semantics) and the pickle path the workers rely on, plus the
+  ``bfs_blocks`` shard assignment.
+"""
+
+import pickle
+
+import networkx as nx
+import pytest
+
+from repro.congest import NodeAlgorithm, RoundStats, SyncNetwork
+from repro.congest.primitives.bfs import distributed_bfs
+from repro.graphs.partition import bfs_blocks
+from repro.util.errors import CongestViolation, PartitionError
+
+
+def _full_stats(stats):
+    """Every cross-backend-comparable field of RoundStats."""
+    return (
+        stats.rounds,
+        stats.messages,
+        stats.message_bits,
+        stats.activations,
+        dict(stats.messages_by_round),
+        dict(stats.edge_messages),
+    )
+
+
+class _RngProbe(NodeAlgorithm):
+    """Draws from ctx.rng on every activation; node 0 floods a wave."""
+
+    def __init__(self, node):
+        self.node = node
+        self.draws = []
+
+    def on_start(self, ctx):
+        self.draws.append(ctx.rng.randrange(2**30))
+        if self.node == 0:
+            return {neighbor: (1,) for neighbor in ctx.neighbors}
+        return {}
+
+    def on_round(self, ctx, inbox):
+        if inbox:
+            self.draws.append(ctx.rng.randrange(2**30))
+        return {}
+
+    def result(self):
+        return tuple(self.draws)
+
+
+class _ViolatorAt(NodeAlgorithm):
+    """All nodes idle via keep-alive; node 0 sends oversized at ``trigger``."""
+
+    def __init__(self, node, trigger):
+        self.node = node
+        self.trigger = trigger
+
+    def on_start(self, ctx):
+        ctx.keep_alive()
+        return {}
+
+    def on_round(self, ctx, inbox):
+        if self.node == 0 and ctx.round == self.trigger:
+            return {neighbor: tuple(range(500)) for neighbor in ctx.neighbors}
+        if ctx.round < self.trigger:
+            ctx.keep_alive()
+        return {}
+
+
+class _Chatter(NodeAlgorithm):
+    def on_start(self, ctx):
+        return {neighbor: (1,) for neighbor in ctx.neighbors}
+
+    def on_round(self, ctx, inbox):
+        return {neighbor: (1,) for neighbor in ctx.neighbors}
+
+
+class TestShardedEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2, 3, 5])
+    def test_bfs_identical_to_event_for_any_worker_count(self, workers):
+        graph = nx.lollipop_graph(8, 12)
+        event_tree, event_stats = distributed_bfs(graph, 0, rng=5, scheduler="event")
+        tree, stats = distributed_bfs(
+            graph, 0, rng=5, scheduler="sharded", workers=workers
+        )
+        assert {v: tree.parent_of(v) for v in tree.nodes()} == {
+            v: event_tree.parent_of(v) for v in event_tree.nodes()
+        }
+        assert _full_stats(stats) == _full_stats(event_stats)
+
+    def test_workers_exceeding_node_count(self):
+        graph = nx.path_graph(3)
+        event_results, event_stats = SyncNetwork(graph, rng=1, scheduler="event").run(
+            {v: _RngProbe(v) for v in graph}
+        )
+        network = SyncNetwork(graph, rng=1, scheduler="sharded", workers=16)
+        results, stats = network.run({v: _RngProbe(v) for v in graph})
+        assert results == event_results
+        assert _full_stats(stats) == _full_stats(event_stats)
+
+    def test_result_iteration_order_matches_node_order(self):
+        graph = nx.path_graph(6)
+        network = SyncNetwork(graph, rng=0, scheduler="sharded", workers=3)
+        results, _ = network.run({v: _RngProbe(v) for v in graph})
+        assert list(results) == list(graph.nodes())
+
+    def test_rng_streams_invariant_across_backends_and_worker_counts(self):
+        # Regression for the shared-RNG ordering hazard: per-node streams
+        # derive from (run_seed, node_index), so they cannot depend on
+        # global iteration order, backend, or worker count.
+        graph = nx.star_graph(9)
+        runs = []
+        for scheduler, workers in [
+            ("dense", None), ("event", None),
+            ("sharded", 1), ("sharded", 2), ("sharded", 4),
+        ]:
+            network = SyncNetwork(
+                graph, rng=42, scheduler=scheduler, workers=workers
+            )
+            results, _ = network.run({v: _RngProbe(v) for v in graph})
+            runs.append(results)
+        for other in runs[1:]:
+            assert other == runs[0]
+
+
+class TestShardedFailures:
+    def test_congest_violation_mid_round_propagates(self):
+        graph = nx.path_graph(8)
+        network = SyncNetwork(graph, rng=0, scheduler="sharded", workers=2)
+        with pytest.raises(CongestViolation):
+            network.run({v: _ViolatorAt(v, trigger=2) for v in graph})
+
+    def test_violation_in_round_zero_propagates(self):
+        class _TooBigAtStart(NodeAlgorithm):
+            def on_start(self, ctx):
+                return {neighbor: tuple(range(500)) for neighbor in ctx.neighbors}
+
+            def on_round(self, ctx, inbox):
+                return {}
+
+        graph = nx.path_graph(4)
+        network = SyncNetwork(graph, rng=0, scheduler="sharded", workers=2)
+        with pytest.raises(CongestViolation):
+            network.run({v: _TooBigAtStart() for v in graph})
+
+    def test_timeout_raises_like_event(self):
+        graph = nx.path_graph(4)
+        network = SyncNetwork(graph, rng=0, scheduler="sharded", workers=2)
+        with pytest.raises(CongestViolation):
+            network.run({v: _Chatter() for v in graph}, max_rounds=5)
+
+    def test_timeout_tolerated_matches_event(self):
+        graph = nx.path_graph(4)
+        outcomes = []
+        for scheduler, workers in [("event", None), ("sharded", 2)]:
+            network = SyncNetwork(graph, rng=0, scheduler=scheduler, workers=workers)
+            _, stats = network.run(
+                {v: _Chatter() for v in graph}, max_rounds=7, raise_on_timeout=False
+            )
+            outcomes.append(_full_stats(stats))
+        assert outcomes[0] == outcomes[1]
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            SyncNetwork(nx.path_graph(2), scheduler="sharded", workers=0)
+
+
+class TestRoundStatsMerge:
+    def _sample(self, seed):
+        return RoundStats(
+            rounds=seed,
+            messages=seed * 3,
+            message_bits=seed * 17,
+            activations=seed * 2,
+            messages_by_round={0: seed, seed: 1},
+            edge_messages={(0, 1): seed, (seed, 0): 2},
+        )
+
+    def test_rounds_take_max_counters_sum(self):
+        a, b = self._sample(3), self._sample(5)
+        merged = a.merge(b)
+        assert merged.rounds == 5
+        assert merged.messages == 24
+        assert merged.activations == 16
+        assert merged.messages_by_round == {0: 8, 3: 1, 5: 1}
+        assert merged.edge_messages == {(0, 1): 8, (3, 0): 2, (5, 0): 2}
+
+    def test_merge_associative_and_commutative(self):
+        a, b, c = self._sample(2), self._sample(7), self._sample(4)
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+        assert a.merge(b) == b.merge(a)
+
+    def test_merge_identity(self):
+        a = self._sample(6)
+        assert a.merge(RoundStats()) == a
+
+    def test_merge_combines_phases(self):
+        a = RoundStats()
+        a.add_phase("sweep", RoundStats(rounds=3, messages=4))
+        b = RoundStats()
+        b.add_phase("sweep", RoundStats(rounds=5, messages=1))
+        merged = a.merge(b)
+        assert merged.phases["sweep"].rounds == 5
+        assert merged.phases["sweep"].messages == 5
+
+    def test_pickle_round_trip(self):
+        # Workers ship their stats over a pipe; the pickle path must be
+        # loss-free.
+        a = self._sample(9)
+        a.add_phase("bfs", RoundStats(rounds=2, messages=1))
+        assert pickle.loads(pickle.dumps(a)) == a
+
+
+class TestBfsBlocks:
+    def test_blocks_partition_all_nodes_evenly(self):
+        graph = nx.convert_node_labels_to_integers(nx.grid_2d_graph(6, 6))
+        blocks = bfs_blocks(graph, 4)
+        assert sorted(v for block in blocks for v in block) == sorted(graph.nodes())
+        sizes = [len(block) for block in blocks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_blocks_than_nodes(self):
+        graph = nx.path_graph(3)
+        blocks = bfs_blocks(graph, 10)
+        assert len(blocks) == 3
+        assert all(len(block) == 1 for block in blocks)
+
+    def test_disconnected_graph_covered(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (2, 3)])
+        blocks = bfs_blocks(graph, 2)
+        assert sorted(v for block in blocks for v in block) == [0, 1, 2, 3]
+
+    def test_locality_on_grid(self):
+        # BFS-contiguous blocks keep most grid edges intra-block: the
+        # property the sharded backend's cross-shard traffic bound rests on.
+        graph = nx.convert_node_labels_to_integers(nx.grid_2d_graph(10, 10))
+        blocks = bfs_blocks(graph, 4)
+        block_of = {v: i for i, block in enumerate(blocks) for v in block}
+        cross = sum(1 for u, v in graph.edges() if block_of[u] != block_of[v])
+        assert cross < graph.number_of_edges() / 2
+
+    def test_zero_blocks_rejected(self):
+        with pytest.raises(PartitionError):
+            bfs_blocks(nx.path_graph(2), 0)

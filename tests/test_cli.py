@@ -42,6 +42,25 @@ class TestMst:
         assert code == 0
         assert "identical MSTs: True" in out
 
+    def test_scheduler_flag_reaches_simulated_construction(self, capsys):
+        code = main(["mst", "--family", "ktree", "--n", "32", "--k", "2",
+                     "--seed", "3", "--construction", "simulated",
+                     "--scheduler", "sharded", "--workers", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scheduler: sharded, workers: 2" in out
+        assert "identical MSTs: True" in out
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["mst", "--family", "ktree", "--n", "32", "--k", "2",
+                  "--scheduler", "bogus"])
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["mst", "--family", "ktree", "--n", "32", "--k", "2",
+                  "--workers", "0"])
+
 
 class TestCertify:
     def test_grid_certify(self, capsys):
@@ -50,6 +69,20 @@ class TestCertify:
         out = capsys.readouterr().out
         assert code == 0
         assert "case I" in out
+        assert "distributed check (event)" in out
+
+    def test_certify_scheduler_flags(self, capsys):
+        code = main(["certify", "--family", "grid", "--width", "6", "--height", "6",
+                     "--parts", "6", "--initial-delta", "3",
+                     "--scheduler", "sharded", "--workers", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "distributed check (sharded)" in out
+
+    def test_certify_unknown_scheduler_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["certify", "--family", "grid", "--width", "6", "--height", "6",
+                  "--scheduler", "nonsense"])
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
