@@ -10,8 +10,7 @@ theorem arm at identical congestion budgets.
 """
 
 from benchmarks.common import fmt, report
-from repro.core.full import build_full_shortcut
-from repro.core.greedy import greedy_shortcut
+from repro.core.providers import ShortcutRequest, build_shortcut
 from repro.graphs.generators import lower_bound_graph
 from repro.graphs.trees import bfs_tree
 
@@ -22,18 +21,24 @@ def _run():
         instance = lower_bound_graph(6, 26)
         graph, partition = instance.graph, instance.partition
         tree = bfs_tree(graph)
-        greedy = greedy_shortcut(
-            graph, tree, partition, delta_hat, order="index", rng=1
+        greedy = build_shortcut(
+            ShortcutRequest(
+                graph=graph, partition=partition, tree=tree, provider="greedy",
+                delta=delta_hat, options={"order": "index"}, rng=1,
+            )
         )
-        theorem = build_full_shortcut(
-            graph, tree, partition, delta_hat, escalate_on_stall=True
+        theorem = build_shortcut(
+            ShortcutRequest(
+                graph=graph, partition=partition, tree=tree,
+                provider="theorem31-centralized", delta=delta_hat,
+            )
         )
-        greedy_quality = greedy.shortcut.quality(exact=False)
-        theorem_quality = theorem.shortcut.quality(exact=False)
+        greedy_quality = greedy.quality(exact=False)
+        theorem_quality = theorem.quality(exact=False)
         rows.append(
             [
                 label,
-                greedy.congestion_cap,
+                greedy.provenance.details["congestion_cap"],
                 greedy_quality.block_number,
                 theorem_quality.block_number,
                 fmt(greedy_quality.dilation, 0),
@@ -57,8 +62,16 @@ def test_e14_greedy_ablation(benchmark):
     )
     instance = lower_bound_graph(6, 26)
     tree = bfs_tree(instance.graph)
+    from repro.core.providers import clear_shortcut_cache
+
     benchmark(
-        lambda: greedy_shortcut(
-            instance.graph, tree, instance.partition, 0.1, rng=1
+        lambda: (
+            clear_shortcut_cache(),
+            build_shortcut(
+                ShortcutRequest(
+                    graph=instance.graph, partition=instance.partition, tree=tree,
+                    provider="greedy", delta=0.1, rng=1,
+                )
+            ),
         )
     )

@@ -17,6 +17,14 @@ a fixed horizon, ~1.6M messages over 8 rounds. BFS-contiguous sharding
 keeps cross-shard traffic to the ~224-node shard boundaries per round, so
 the per-round pipe exchange is negligible against the per-shard compute.
 
+To *quantify* that locality win, the table includes a cross-shard-traffic
+column: the measured per-edge message counters (``RoundStats.
+edge_messages``) are projected onto both the ``bfs_blocks`` shard
+assignment the backend actually uses and a seeded random assignment of
+equal shard sizes. The ratio is the fraction of messages that would have
+crossed a process boundary under each scheme; ``bfs_blocks`` must carry
+strictly less cross-shard traffic than random for every worker count > 1.
+
 The speedup assertion only fires when the host actually has >= 4 CPUs
 (``os.cpu_count()``): on smaller hosts (CI smoke under
 ``REPRO_BENCH_QUICK=1``, single-core containers) the benchmark still
@@ -24,12 +32,14 @@ asserts identity and reports the measured ratios.
 """
 
 import os
+import random
 import time
 
 import networkx as nx
 
 from benchmarks.common import fmt, report
 from repro.congest import NodeAlgorithm, SyncNetwork
+from repro.graphs.partition import bfs_blocks
 
 QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
 
@@ -86,11 +96,38 @@ def _identity_projection(stats):
     )
 
 
+def _shard_of(blocks) -> dict[int, int]:
+    return {node: index for index, block in enumerate(blocks) for node in block}
+
+
+def _random_blocks(graph, num_blocks, rng_seed=99):
+    """Equal-size shards over a seeded random node order (the control arm)."""
+    nodes = list(graph.nodes())
+    random.Random(rng_seed).shuffle(nodes)
+    base, extra = divmod(len(nodes), num_blocks)
+    blocks, position = [], 0
+    for i in range(num_blocks):
+        size = base + (1 if i < extra else 0)
+        blocks.append(nodes[position : position + size])
+        position += size
+    return blocks
+
+
+def _cross_shard_messages(edge_messages, shard_of) -> int:
+    """Messages that cross a shard boundary under the given assignment."""
+    return sum(
+        count
+        for (u, v), count in edge_messages.items()
+        if shard_of[u] != shard_of[v]
+    )
+
+
 def test_e17_sharded_speedup(benchmark):
     graph = _grid()
     cores = os.cpu_count() or 1
     reference_results, reference_stats, event_time = _run(graph, "event")
 
+    total_messages = reference_stats.messages
     rows = [
         [
             "event",
@@ -98,8 +135,11 @@ def test_e17_sharded_speedup(benchmark):
             fmt(event_time, 2),
             "1.00",
             reference_stats.rounds,
-            reference_stats.messages,
+            total_messages,
             reference_stats.activations,
+            "-",
+            "-",
+            "-",
         ]
     ]
     speedups = {}
@@ -109,6 +149,14 @@ def test_e17_sharded_speedup(benchmark):
         assert results == reference_results
         assert _identity_projection(stats) == _identity_projection(reference_stats)
         speedups[workers] = event_time / elapsed
+        # Cross-shard traffic: project the measured per-edge counters onto
+        # the backend's bfs_blocks assignment vs a random control.
+        bfs_shard = _shard_of(bfs_blocks(graph, workers))
+        random_shard = _shard_of(_random_blocks(graph, workers))
+        bfs_cross = _cross_shard_messages(stats.edge_messages, bfs_shard)
+        random_cross = _cross_shard_messages(stats.edge_messages, random_shard)
+        if workers > 1:
+            assert bfs_cross < random_cross, (workers, bfs_cross, random_cross)
         rows.append(
             [
                 "sharded",
@@ -118,13 +166,17 @@ def test_e17_sharded_speedup(benchmark):
                 stats.rounds,
                 stats.messages,
                 stats.activations,
+                f"{bfs_cross} ({bfs_cross / total_messages:.1%})",
+                f"{random_cross} ({random_cross / total_messages:.1%})",
+                fmt(random_cross / max(bfs_cross, 1), 1) + "x",
             ]
         )
     report(
         "e17_sharded",
         f"Sharded backend on {SIDE}x{SIDE} grid diffusion "
         f"(n={graph.number_of_nodes()}, host cores={cores})",
-        ["backend", "workers", "seconds", "speedup", "rounds", "messages", "activations"],
+        ["backend", "workers", "seconds", "speedup", "rounds", "messages",
+         "activations", "xshard bfs", "xshard random", "locality win"],
         rows,
     )
     if cores >= 4 and not QUICK:

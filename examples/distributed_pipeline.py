@@ -1,14 +1,15 @@
 #!/usr/bin/env python
-"""Theorem 1.5 end to end: the distributed construction, phase by phase.
+"""Theorem 1.5 end to end through the provider registry, phase by phase.
 
-Runs the complete CONGEST pipeline — leader election, BFS tree, parameter
-dissemination, the sampled level-synchronized sweep, and the part-wise
-verification — on a k-tree, printing the measured rounds of every phase
-and the quality of the resulting shortcut. This is the execution whose
-total the paper bounds by O~(δD).
+Requests a ``theorem31-simulated`` shortcut — the complete measured CONGEST
+pipeline (BFS tree, parameter dissemination, the sampled level-synchronized
+sweep), iterated over unsatisfied parts per Observation 2.7 — via one
+``ShortcutRequest``, then prints the measured rounds of every phase, the
+provenance (iterations / δ escalations), and the quality of the resulting
+shortcut. This is the execution whose total the paper bounds by O~(δD).
 """
 
-from repro.core.distributed import distributed_partial_shortcut
+from repro import ShortcutRequest, build_shortcut
 from repro.graphs.generators import k_tree
 from repro.graphs.partition import voronoi_partition
 from repro.graphs.properties import diameter
@@ -22,26 +23,35 @@ def main() -> None:
           f"m={graph.number_of_edges()}, diameter ~{measured_diameter}")
     print(f"parts: {len(partition)} Voronoi cells; delta = 3 (treewidth bound)\n")
 
-    result = distributed_partial_shortcut(
-        graph, partition, delta=3.0, rng=7, elect_root=True
+    outcome = build_shortcut(
+        ShortcutRequest(
+            graph=graph,
+            partition=partition,
+            method="theorem31",
+            construction="simulated",
+            delta=3.0,
+            rng=7,
+        )
     )
 
     print(f"{'phase':<12} | {'rounds':>7} | {'messages':>9}")
     print("-" * 36)
-    for name, stats in result.stats.phases.items():
+    for name, stats in outcome.stats.phases.items():
         print(f"{name:<12} | {stats.rounds:>7} | {stats.messages:>9}")
     print("-" * 36)
-    print(f"{'total':<12} | {result.stats.rounds:>7} | {result.stats.messages:>9}")
+    print(f"{'total':<12} | {outcome.stats.rounds:>7} | {outcome.stats.messages:>9}")
 
-    print(f"\nsampling: p={result.params['probability']:.4f}, "
-          f"tau={result.params['tau']}, depth={result.params['depth_max']}")
-    print(f"satisfied parts: {len(result.satisfied)}/{len(partition)} "
-          f"(case {'I' if result.succeeded else 'II'})")
-    quality = result.shortcut().quality(exact=False)
+    provenance = outcome.provenance
+    print(f"\nprovider: {provenance.provider}, "
+          f"iterations: {provenance.iterations}, "
+          f"delta escalations: {provenance.escalations}, "
+          f"delta used: {provenance.delta_used}")
+    quality = outcome.quality(exact=False)
     print(f"shortcut quality: congestion={quality.congestion}, "
           f"dilation={quality.dilation:.0f}, blocks={quality.block_number}")
-    print(f"\nbudgets: c = {result.congestion_budget}, "
-          f"block budget = {result.block_budget} — all respected.")
+    print(f"\nall {len(partition)} parts covered; "
+          f"measured construction congestion "
+          f"{outcome.stats.max_congestion} over {outcome.stats.rounds} rounds.")
 
 
 if __name__ == "__main__":

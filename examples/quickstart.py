@@ -1,14 +1,15 @@
 #!/usr/bin/env python
-"""Quickstart: build a shortcut, check it against the paper's bounds.
+"""Quickstart: request a shortcut, check it against the paper's bounds.
 
-Builds a planar grid (δ < 3), partitions it into BFS-Voronoi cells, runs
-the Theorem 3.1 / Observation 2.7 construction, and compares the measured
-congestion / dilation / block number against Theorem 1.2's formulas. Then
-solves one part-wise aggregation through the shortcut to show the end-to-end
-use case.
+Builds a planar grid (δ < 3), partitions it into BFS-Voronoi cells, obtains
+a Theorem 3.1 / Observation 2.7 shortcut through the unified
+``ShortcutProvider`` registry (one ``ShortcutRequest`` in, one
+``ShortcutOutcome`` out), and compares the measured congestion / dilation /
+block number against Theorem 1.2's formulas. Then solves one part-wise
+aggregation through the shortcut to show the end-to-end use case.
 """
 
-from repro import bfs_tree, build_full_shortcut, grid_graph
+from repro import ShortcutRequest, build_shortcut, grid_graph
 from repro.core.bounds import (
     theorem12_congestion_bound,
     theorem12_dilation_bound,
@@ -23,15 +24,19 @@ DELTA = 3.0  # planar graphs have minor density < 3
 
 def main() -> None:
     graph = grid_graph(WIDTH, HEIGHT)
-    tree = bfs_tree(graph)
     partition = voronoi_partition(graph, NUM_PARTS, rng=7)
+    outcome = build_shortcut(
+        ShortcutRequest(graph=graph, partition=partition, delta=DELTA)
+    )
+    tree = outcome.tree
     print(f"graph: {WIDTH}x{HEIGHT} grid, n={graph.number_of_nodes()}, "
           f"diameter D={WIDTH + HEIGHT - 2}, BFS depth={tree.max_depth}")
     print(f"parts: {NUM_PARTS} BFS-Voronoi cells, delta = {DELTA} (planar)")
 
-    result = build_full_shortcut(graph, tree, partition, delta=DELTA)
-    quality = result.shortcut.quality()
-    print(f"\nfull shortcut built in {result.iterations} partial iterations")
+    provenance = outcome.provenance
+    quality = outcome.quality(exact=True)
+    print(f"\nprovider {provenance.provider!r} built the full shortcut "
+          f"in {provenance.iterations} partial iterations")
     print(f"  congestion : {quality.congestion:4d}  "
           f"(Theorem 1.2 bound {theorem12_congestion_bound(DELTA, tree.max_depth, NUM_PARTS):.0f})")
     print(f"  dilation   : {quality.dilation:4.0f}  "
@@ -41,7 +46,7 @@ def main() -> None:
 
     values = {v: v for v in graph.nodes()}
     aggregation = partwise_aggregate(
-        graph, partition, result.shortcut, values, min, rng=1
+        graph, partition, outcome.shortcut, values, min, rng=1
     )
     print(f"\npart-wise MIN aggregation through the shortcut: "
           f"{aggregation.stats.rounds} rounds "

@@ -17,24 +17,32 @@ of minor density δ and diameter D, with
 
 Quickstart::
 
-    from repro import build_full_shortcut, bfs_tree, grid_graph
+    from repro import ShortcutRequest, build_shortcut, grid_graph
     from repro.graphs.partition import grid_rows_partition
 
     graph = grid_graph(20, 20)
-    tree = bfs_tree(graph)
     parts = grid_rows_partition(graph)
-    result = build_full_shortcut(graph, tree, parts, delta=3.0)
-    print(result.shortcut.quality())
+    outcome = build_shortcut(ShortcutRequest(graph, parts, delta=3.0))
+    print(outcome.quality())
+
+Every registered construction (``baseline``, ``theorem31-centralized``,
+``theorem31-simulated``, ``greedy``, ``certifying``, ``none``) is reachable
+through the same :class:`~repro.core.providers.ShortcutRequest`; see
+:func:`~repro.core.providers.available_providers`.
 """
 
 from repro.core import (
     Shortcut,
+    ShortcutOutcome,
     ShortcutQuality,
+    ShortcutRequest,
     TreeRestrictedShortcut,
     adaptive_full_shortcut,
+    available_providers,
     bfs_tree_shortcut,
     build_full_shortcut,
     build_partial_shortcut,
+    build_shortcut,
     certify_or_shortcut,
 )
 from repro.graphs import Partition, RootedTree, bfs_tree, diameter
@@ -51,6 +59,10 @@ __all__ = [
     "adaptive_full_shortcut",
     "certify_or_shortcut",
     "bfs_tree_shortcut",
+    "ShortcutRequest",
+    "ShortcutOutcome",
+    "build_shortcut",
+    "available_providers",
     "Partition",
     "RootedTree",
     "bfs_tree",

@@ -29,11 +29,9 @@ import networkx as nx
 
 from repro.congest.network import validate_scheduler
 from repro.congest.stats import RoundStats
-from repro.core.baseline import bfs_tree_shortcut
-from repro.core.full import build_full_shortcut
+from repro.core.providers import ShortcutRequest, build_shortcut, provider_name, resolve_tree
 from repro.graphs.adjacency import canonical_edge
 from repro.graphs.partition import Partition
-from repro.graphs.trees import bfs_tree
 from repro.sched.partwise import partwise_aggregate
 from repro.util.errors import GraphStructureError, ShortcutError
 from repro.util.rng import ensure_rng
@@ -70,6 +68,7 @@ def subgraph_components(
     rng: int | random.Random | None = None,
     scheduler: str = "event",
     workers: int | None = None,
+    provider: str | None = None,
 ) -> ConnectivityResult:
     """Connected components of ``(V, subgraph_edges)`` in the CONGEST model.
 
@@ -86,15 +85,15 @@ def subgraph_components(
             :mod:`repro.congest`).
         workers: process count for the sharded scheduler (``None`` =
             backend default).
+        provider: explicit shortcut-provider name (see
+            :func:`repro.core.providers.available_providers`); overrides
+            ``shortcut_method``/``construction``.
 
     Raises:
         GraphStructureError: if some subgraph edge is not a ``G`` edge.
-        ShortcutError: unknown method.
+        ShortcutError: unknown provider/method/construction.
     """
-    if shortcut_method not in ("theorem31", "baseline"):
-        raise ShortcutError(f"unknown shortcut_method {shortcut_method!r}")
-    if construction not in ("centralized", "simulated"):
-        raise ShortcutError(f"unknown construction {construction!r}")
+    provider_name(shortcut_method, construction, provider)  # fail fast, uniformly
     validate_scheduler(scheduler, ShortcutError, workers=workers)
     rng = ensure_rng(rng)
     normalized: set[Edge] = set()
@@ -103,20 +102,12 @@ def subgraph_components(
             raise GraphStructureError(f"subgraph edge ({u}, {v}) is not a graph edge")
         normalized.add(canonical_edge(u, v))
 
-    if delta is None:
-        from repro.graphs.minors import analytic_delta_upper
-        from repro.graphs.properties import degeneracy
-
-        delta = analytic_delta_upper(graph)
-        if delta is None:
-            delta = max(1.0, float(degeneracy(graph)))
-
     adjacency: dict[int, list[int]] = {v: [] for v in graph.nodes()}
     for u, v in normalized:
         adjacency[u].append(v)
         adjacency[v].append(u)
 
-    tree = bfs_tree(graph)
+    tree = resolve_tree(graph)
     label = {v: v for v in graph.nodes()}
     stats = RoundStats()
     n = graph.number_of_nodes()
@@ -145,11 +136,22 @@ def subgraph_components(
         if all(value is None for value in values.values()):
             break
 
-        shortcut, build_stats = _phase_shortcut(
-            graph, tree, partition, shortcut_method, construction, delta, rng,
-            scheduler, workers,
+        outcome = build_shortcut(
+            ShortcutRequest(
+                graph=graph,
+                partition=partition,
+                tree=tree,
+                method=shortcut_method,
+                construction=construction,
+                provider=provider,
+                delta=delta,
+                rng=rng,
+                scheduler=scheduler,
+                workers=workers,
+            )
         )
-        phase_stats = phase_stats + build_stats
+        shortcut = outcome.shortcut
+        phase_stats = phase_stats + outcome.stats
         aggregation = partwise_aggregate(
             graph, partition, shortcut, values, _min_or_none, rng=rng
         )
@@ -187,24 +189,6 @@ def subgraph_components(
     return ConnectivityResult(
         labels=label, num_components=components, phases=phases, stats=stats
     )
-
-
-def _phase_shortcut(
-    graph, tree, partition, method, construction, delta, rng, scheduler, workers=None
-):
-    if method == "baseline":
-        return bfs_tree_shortcut(graph, partition, tree=tree), RoundStats(
-            rounds=tree.max_depth + 1
-        )
-    if construction == "simulated":
-        from repro.apps.mst import _build_shortcut  # shared Obs 2.7 driver
-
-        return _build_shortcut(
-            graph, tree, partition, "theorem31", "simulated", delta, rng,
-            scheduler=scheduler, workers=workers,
-        )
-    result = build_full_shortcut(graph, tree, partition, delta, escalate_on_stall=True)
-    return result.shortcut, RoundStats()
 
 
 def _min_or_none(a, b):

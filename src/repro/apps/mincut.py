@@ -36,6 +36,7 @@ import networkx as nx
 
 from repro.apps.mst import distributed_mst
 from repro.congest.network import validate_scheduler
+from repro.core.providers import provider_name
 from repro.congest.stats import RoundStats
 from repro.graphs.adjacency import canonical_edge
 from repro.graphs.trees import RootedTree
@@ -86,6 +87,7 @@ def distributed_mincut(
     construction: str = "centralized",
     scheduler: str = "event",
     workers: int | None = None,
+    provider: str | None = None,
 ) -> MinCutResult:
     """Unweighted min cut (edge connectivity) with measured round accounting.
 
@@ -105,10 +107,15 @@ def distributed_mincut(
             :mod:`repro.congest`).
         workers: process count for the sharded scheduler (``None`` =
             backend default).
+        provider: explicit shortcut-provider name (see
+            :func:`repro.core.providers.available_providers`); overrides
+            ``shortcut_method``/``construction``.
 
     Raises:
         GraphStructureError: if the graph is disconnected or has < 2 nodes.
+        ShortcutError: unknown provider/method/construction.
     """
+    provider_name(shortcut_method, construction, provider)  # fail fast, uniformly
     validate_scheduler(scheduler, ShortcutError, workers=workers)
     if graph.number_of_nodes() < 2:
         raise GraphStructureError("min cut needs at least 2 nodes")
@@ -143,6 +150,7 @@ def distributed_mincut(
             rng=rng,
             scheduler=scheduler,
             workers=workers,
+            provider=provider,
         )
         stats.add_phase(f"tree_{index}", mst.stats)
         for edge in mst.edges:

@@ -11,8 +11,9 @@ Round accounting per phase (all measured, never asserted):
 
 * 1 round of fragment-id exchange (every node tells each neighbor its
   fragment id — one ``O(log n)``-bit message per edge direction);
-* optional shortcut construction (``construction="simulated"`` runs the
-  Theorem 1.5 distributed pipeline and adds its measured rounds;
+* optional shortcut construction, obtained from the
+  :mod:`repro.core.providers` registry (``construction="simulated"`` runs
+  the Theorem 1.5 distributed pipeline and adds its measured rounds;
   ``"centralized"`` plans the same shortcut for free — the arm used to
   isolate aggregation costs);
 * one simulated part-wise aggregation (MOE convergecast + decision
@@ -32,12 +33,9 @@ import networkx as nx
 
 from repro.congest.network import validate_scheduler
 from repro.congest.stats import RoundStats
-from repro.core.baseline import bfs_tree_shortcut
-from repro.core.full import build_full_shortcut
-from repro.core.shortcut import Shortcut
+from repro.core.providers import ShortcutRequest, build_shortcut, provider_name, resolve_tree
 from repro.graphs.adjacency import canonical_edge
 from repro.graphs.partition import Partition
-from repro.graphs.trees import bfs_tree
 from repro.sched.partwise import partwise_aggregate
 from repro.util.errors import GraphStructureError, ShortcutError
 from repro.util.rng import ensure_rng
@@ -92,6 +90,7 @@ def distributed_mst(
     max_phases: int | None = None,
     scheduler: str = "event",
     workers: int | None = None,
+    provider: str | None = None,
 ) -> MstResult:
     """Compute the MST with measured CONGEST round accounting.
 
@@ -106,19 +105,22 @@ def distributed_mst(
             aggregation rounds measured) or ``"simulated"`` (adds the
             measured rounds of the Theorem 1.5 distributed pipeline, run
             iteratively over unsatisfied fragments per Observation 2.7).
-        delta: minor-density parameter for ``theorem31``; defaults to the
-            generator's analytic bound or, failing that, the graph's
-            degeneracy.
+        delta: minor-density parameter; defaults to the generator's
+            analytic bound or, failing that, the graph's degeneracy (the
+            shared :func:`repro.core.providers.resolve_delta` rule).
         max_phases: safety cap (default ``2·ceil(log2 n) + 4``).
         scheduler: simulator scheduler for the ``"simulated"`` construction
             (``"event"``, ``"dense"``, or ``"sharded"``; see
             :mod:`repro.congest`).
         workers: process count for the sharded scheduler (``None`` =
             backend default).
+        provider: explicit shortcut-provider name (see
+            :func:`repro.core.providers.available_providers`); overrides
+            ``shortcut_method``/``construction``.
 
     Raises:
         GraphStructureError: disconnected input or non-integer weights.
-        ShortcutError: unknown method/construction.
+        ShortcutError: unknown provider/method/construction.
     """
     import math
 
@@ -134,23 +136,13 @@ def distributed_mst(
             raise GraphStructureError(
                 f"edge weights must be integers (CONGEST messages); {edge} has {weight!r}"
             )
-    if shortcut_method not in ("theorem31", "baseline"):
-        raise ShortcutError(f"unknown shortcut_method {shortcut_method!r}")
-    if construction not in ("centralized", "simulated"):
-        raise ShortcutError(f"unknown construction {construction!r}")
+    provider_name(shortcut_method, construction, provider)  # fail fast, uniformly
     validate_scheduler(scheduler, ShortcutError, workers=workers)
-    if delta is None:
-        from repro.graphs.minors import analytic_delta_upper
-        from repro.graphs.properties import degeneracy
-
-        delta = analytic_delta_upper(graph)
-        if delta is None:
-            delta = max(1.0, float(degeneracy(graph)))
     n = graph.number_of_nodes()
     if max_phases is None:
         max_phases = 2 * max(1, math.ceil(math.log2(max(n, 2)))) + 4
 
-    tree = bfs_tree(graph)
+    tree = resolve_tree(graph)
     fragment_of = {v: v for v in graph.nodes()}  # fragment id = leader node
     mst_edges: set[Edge] = set()
     stats = RoundStats()
@@ -172,12 +164,26 @@ def distributed_mst(
         phase_stats.rounds += 1
         phase_stats.messages += 2 * graph.number_of_edges()
 
-        # Step 2: shortcut for the current fragments.
-        shortcut, construction_stats = _build_shortcut(
-            graph, tree, partition, shortcut_method, construction, delta, rng,
-            scheduler=scheduler, workers=workers,
+        # Step 2: shortcut for the current fragments, via the provider
+        # registry (identical fragment collections — e.g. the singleton
+        # phase repeated across a min-cut tree packing — hit the memo cache
+        # instead of rebuilding).
+        outcome = build_shortcut(
+            ShortcutRequest(
+                graph=graph,
+                partition=partition,
+                tree=tree,
+                method=shortcut_method,
+                construction=construction,
+                provider=provider,
+                delta=delta,
+                rng=rng,
+                scheduler=scheduler,
+                workers=workers,
+            )
         )
-        phase_stats = phase_stats + construction_stats
+        shortcut = outcome.shortcut
+        phase_stats = phase_stats + outcome.stats
 
         # Step 3: per-node local MOE, then part-wise min aggregation.
         values = _local_moe_values(graph, weights, fragment_of)
@@ -224,71 +230,6 @@ def _fragment_sets(fragment_of: dict[int, int]) -> dict[int, list[int]]:
     for node, fragment in fragment_of.items():
         sets.setdefault(fragment, []).append(node)
     return sets
-
-
-def _build_shortcut(
-    graph: nx.Graph,
-    tree,
-    partition: Partition,
-    method: str,
-    construction: str,
-    delta: float,
-    rng: random.Random,
-    scheduler: str = "event",
-    workers: int | None = None,
-) -> tuple[Shortcut, RoundStats]:
-    if method == "baseline":
-        shortcut = bfs_tree_shortcut(graph, partition, tree=tree)
-        # The baseline needs no per-phase construction: the BFS tree is
-        # reused; announcing the "big part" bit costs O(D) rounds once.
-        return shortcut, RoundStats(rounds=tree.max_depth + 1)
-    if construction == "centralized":
-        result = build_full_shortcut(
-            graph, tree, partition, delta, escalate_on_stall=True
-        )
-        return result.shortcut, RoundStats()
-    # Simulated: iterate the distributed construction over unsatisfied parts
-    # (Observation 2.7), accumulating its measured rounds.
-    from repro.core.distributed import distributed_partial_shortcut
-
-    remaining = list(range(len(partition)))
-    assigned: dict[int, frozenset[int]] = {}
-    total = RoundStats()
-    current_delta = delta
-    guard = 0
-    final_tree = tree
-    while remaining:
-        sub = partition.restrict(graph, remaining)
-        result = distributed_partial_shortcut(
-            graph, sub, current_delta, rng=rng, run_verification=False,
-            scheduler=scheduler, workers=workers,
-        )
-        total = total + result.stats
-        final_tree = result.tree
-        if not result.satisfied:
-            current_delta *= 2
-            guard += 1
-            if guard > 40:
-                raise ShortcutError("distributed construction failed to converge")
-            continue
-        satisfied = set(result.satisfied)
-        next_remaining = []
-        for sub_index, original in enumerate(remaining):
-            if sub_index in satisfied:
-                assigned[original] = result.subgraphs[sub_index]
-            else:
-                next_remaining.append(original)
-        remaining = next_remaining
-    from repro.core.shortcut import TreeRestrictedShortcut
-
-    shortcut = TreeRestrictedShortcut(
-        graph,
-        partition,
-        final_tree,
-        [assigned[i] for i in range(len(partition))],
-        validate=False,
-    )
-    return shortcut, total
 
 
 def _local_moe_values(

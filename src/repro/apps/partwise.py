@@ -2,10 +2,10 @@
 
 This is the library's highest-level entry point: given a graph, a part
 collection, and per-node values, solve the part-wise aggregation problem —
-choose a shortcut method, construct the shortcut, schedule the aggregation,
-and return per-part aggregates with full measured round accounting. The
-paper's whole program is that this function's round count is O~(δD) instead
-of O~(D + √n) on minor-sparse graphs.
+obtain a shortcut from the :mod:`repro.core.providers` registry, schedule
+the aggregation, and return per-part aggregates with full measured round
+accounting. The paper's whole program is that this function's round count
+is O~(δD) instead of O~(D + √n) on minor-sparse graphs.
 
 Also provides the *multicast* variant from Definition 2.1 ("exactly one
 node in each part has a message and it should be delivered to all nodes of
@@ -23,11 +23,14 @@ import networkx as nx
 
 from repro.congest.network import validate_scheduler
 from repro.congest.stats import RoundStats
-from repro.core.baseline import bfs_tree_shortcut
-from repro.core.full import build_full_shortcut
+from repro.core.providers import (
+    ShortcutProvenance,
+    ShortcutRequest,
+    build_shortcut,
+    provider_name,
+)
 from repro.core.shortcut import Shortcut
 from repro.graphs.partition import Partition
-from repro.graphs.trees import bfs_tree
 from repro.sched.partwise import partwise_aggregate
 from repro.util.errors import ShortcutError
 from repro.util.rng import ensure_rng
@@ -45,6 +48,8 @@ class PartwiseSolution:
         construction_stats: measured construction rounds ("simulated" mode)
             or zero ("centralized" planning).
         aggregation_stats: measured scheduling rounds.
+        provenance: which shortcut provider ran (and whether the shortcut
+            came from the memo cache).
         total_rounds: construction + aggregation rounds.
     """
 
@@ -52,50 +57,11 @@ class PartwiseSolution:
     shortcut: Shortcut
     construction_stats: RoundStats
     aggregation_stats: RoundStats
+    provenance: ShortcutProvenance | None = None
 
     @property
     def total_rounds(self) -> int:
         return self.construction_stats.rounds + self.aggregation_stats.rounds
-
-
-def _construct_shortcut(
-    graph: nx.Graph,
-    partition: Partition,
-    method: str,
-    construction: str,
-    delta: float | None,
-    rng: random.Random,
-    scheduler: str = "event",
-    workers: int | None = None,
-) -> tuple[Shortcut, RoundStats]:
-    if method == "none":
-        return Shortcut(graph, partition, [[] for _ in partition]), RoundStats()
-    if method == "baseline":
-        tree = bfs_tree(graph)
-        shortcut = bfs_tree_shortcut(graph, partition, tree=tree)
-        return shortcut, RoundStats(rounds=tree.max_depth + 1)
-    if method != "theorem31":
-        raise ShortcutError(f"unknown shortcut method {method!r}")
-    if delta is None:
-        from repro.graphs.minors import analytic_delta_upper
-        from repro.graphs.properties import degeneracy
-
-        delta = analytic_delta_upper(graph)
-        if delta is None:
-            delta = max(1.0, float(degeneracy(graph)))
-    if construction == "centralized":
-        tree = bfs_tree(graph)
-        result = build_full_shortcut(graph, tree, partition, delta, escalate_on_stall=True)
-        return result.shortcut, RoundStats()
-    if construction != "simulated":
-        raise ShortcutError(f"unknown construction {construction!r}")
-    from repro.apps.mst import _build_shortcut  # shared Obs 2.7 driver
-
-    tree = bfs_tree(graph)
-    return _build_shortcut(
-        graph, tree, partition, "theorem31", "simulated", delta, rng,
-        scheduler=scheduler, workers=workers,
-    )
 
 
 def solve_partwise_aggregation(
@@ -109,6 +75,7 @@ def solve_partwise_aggregation(
     rng: int | random.Random | None = None,
     scheduler: str = "event",
     workers: int | None = None,
+    provider: str | None = None,
 ) -> PartwiseSolution:
     """Solve Definition 2.1's aggregation variant end to end.
 
@@ -120,23 +87,38 @@ def solve_partwise_aggregation(
             (aggregate within bare ``G[P_i]`` — the slow control arm).
         construction: ``"centralized"`` (free planning) or ``"simulated"``
             (measured Theorem 1.5 pipeline rounds included).
-        delta: minor-density parameter; default analytic-or-degeneracy.
+        delta: minor-density parameter; default analytic-or-degeneracy
+            (the shared :func:`repro.core.providers.resolve_delta` rule).
         scheduler: simulator scheduler for the simulated construction
             (``"event"``, ``"dense"``, or ``"sharded"``; see
             :mod:`repro.congest`).
         workers: process count for the sharded scheduler (``None`` =
             backend default).
+        provider: explicit shortcut-provider name (see
+            :func:`repro.core.providers.available_providers`); overrides
+            ``shortcut_method``/``construction``.
 
     Raises:
-        ShortcutError: unknown method/construction, or an aggregation that
-            cannot complete (disconnected ``G[P_i] + H_i``).
+        ShortcutError: unknown provider/method/construction, or an
+            aggregation that cannot complete (disconnected ``G[P_i] + H_i``).
     """
+    provider_name(shortcut_method, construction, provider)  # fail fast, uniformly
     validate_scheduler(scheduler, ShortcutError, workers=workers)
     rng = ensure_rng(rng)
-    shortcut, construction_stats = _construct_shortcut(
-        graph, partition, shortcut_method, construction, delta, rng,
-        scheduler=scheduler, workers=workers,
+    outcome = build_shortcut(
+        ShortcutRequest(
+            graph=graph,
+            partition=partition,
+            method=shortcut_method,
+            construction=construction,
+            provider=provider,
+            delta=delta,
+            rng=rng,
+            scheduler=scheduler,
+            workers=workers,
+        )
     )
+    shortcut = outcome.shortcut
     result = partwise_aggregate(graph, partition, shortcut, values, combine, rng=rng)
     if result.incomplete:
         raise ShortcutError(
@@ -146,8 +128,9 @@ def solve_partwise_aggregation(
     return PartwiseSolution(
         values=result.values,
         shortcut=shortcut,
-        construction_stats=construction_stats,
+        construction_stats=outcome.stats,
         aggregation_stats=result.stats,
+        provenance=outcome.provenance,
     )
 
 
@@ -161,6 +144,7 @@ def solve_partwise_multicast(
     rng: int | random.Random | None = None,
     scheduler: str = "event",
     workers: int | None = None,
+    provider: str | None = None,
 ) -> PartwiseSolution:
     """Definition 2.1's multicast variant: one message per part, to all members.
 
@@ -170,8 +154,10 @@ def solve_partwise_multicast(
     the input — the engine's convergecast carries it up from the leader).
 
     Raises:
-        ShortcutError: if a part index has no message or delivery fails.
+        ShortcutError: unknown provider, a part index without a message, or
+            failed delivery.
     """
+    provider_name(shortcut_method, construction, provider)  # fail fast, uniformly
     missing = [i for i in range(len(partition)) if i not in messages]
     if missing:
         raise ShortcutError(f"no message provided for parts {missing[:5]}")
@@ -198,6 +184,7 @@ def solve_partwise_multicast(
         rng=rng,
         scheduler=scheduler,
         workers=workers,
+        provider=provider,
     )
     solution.values = {index: value[1] for index, value in solution.values.items()}
     return solution

@@ -2,14 +2,19 @@
 
 Four commands cover the common workflows without writing any code:
 
-* ``quality`` — generate a graph family, build a full shortcut, print the
-  measured quality against the Theorem 1.2 bounds;
+* ``quality`` — generate a graph family, obtain a shortcut from any
+  registered :mod:`repro.core.providers` provider (``--provider``), print
+  the measured quality — and, for the theorem constructions, verify it
+  against the Theorem 1.2 bounds;
 * ``lowerbound`` — build and verify a Lemma 3.2 instance and report the
   measured quality of our shortcut on its hard parts;
-* ``mst`` — run the distributed MST on a family, both shortcut arms, with
-  measured rounds;
-* ``certify`` — run the certifying construction and print the attempt
-  ledger plus the dense-minor witness, if any.
+* ``mst`` — run the distributed MST on a family, the selected provider vs
+  the baseline arm, with measured rounds;
+* ``certify`` — run the certifying provider and print the attempt ledger
+  plus the dense-minor witness, if any.
+
+``quality``, ``mst``, and ``certify`` share the unified ``--provider``
+flag; ``mst`` keeps ``--construction`` as the legacy alias.
 """
 
 from __future__ import annotations
@@ -62,8 +67,20 @@ def _add_family_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_provider_argument(
+    parser: argparse.ArgumentParser, default: str | None = None
+) -> None:
+    from repro.core.providers import available_providers
+
+    parser.add_argument(
+        "--provider", default=default, choices=sorted(available_providers()),
+        help="shortcut provider from the registry"
+        + (f" (default {default})" if default else ""),
+    )
+
+
 def _cmd_quality(args: argparse.Namespace) -> int:
-    from repro.core.full import adaptive_full_shortcut, build_full_shortcut
+    from repro.core.providers import ShortcutRequest, build_shortcut
     from repro.core.verify import verify_full_result
     from repro.graphs.minors import analytic_delta_upper
     from repro.graphs.partition import voronoi_partition
@@ -76,19 +93,32 @@ def _cmd_quality(args: argparse.Namespace) -> int:
     delta = args.delta if args.delta is not None else analytic_delta_upper(graph)
     print(f"graph: {args.family}, n={graph.number_of_nodes()}, "
           f"m={graph.number_of_edges()}, BFS depth={tree.max_depth}")
-    print(f"parts: {num_parts} Voronoi cells; delta = {delta}")
-    if delta is None:
+    provider = args.provider or "theorem31-centralized"
+    print(f"parts: {num_parts} Voronoi cells; delta = {delta}; provider = {provider}")
+    if delta is None and provider.startswith("theorem31"):
+        # No analytic bound: start the Observation 2.7 escalation at δ = 1
+        # (the adaptive doubling construction).
         print("no analytic delta; running the adaptive (doubling) construction")
-        result = adaptive_full_shortcut(graph, tree, partition)
-    else:
-        result = build_full_shortcut(
-            graph, tree, partition, delta, escalate_on_stall=True
+        delta = 1.0
+    outcome = build_shortcut(
+        ShortcutRequest(
+            graph=graph, partition=partition, tree=tree, provider=provider,
+            delta=delta, rng=args.seed,
         )
-    quality = result.shortcut.quality(exact=not args.fast)
-    print(f"iterations: {result.iterations}, delta used: {result.delta_used}")
+    )
+    quality = outcome.quality(exact=not args.fast)
+    prov = outcome.provenance
+    print(f"iterations: {prov.iterations}, delta used: {prov.delta_used}")
     print(f"congestion={quality.congestion} dilation={quality.dilation:.0f} "
           f"blocks={quality.block_number} quality={quality.quality:.0f}")
-    report = verify_full_result(result, delta=result.delta_used, exact_dilation=not args.fast)
+    full_result = prov.details.get("full_result")
+    if full_result is None:
+        # Non-theorem providers (baseline/greedy/none) and the simulated
+        # pipeline have no Theorem 1.2 contract to verify; report only.
+        return 0
+    report = verify_full_result(
+        full_result, delta=prov.delta_used, exact_dilation=not args.fast
+    )
     print(report.summary())
     return 0 if report.all_hold else 1
 
@@ -140,11 +170,12 @@ def _cmd_mst(args: argparse.Namespace) -> int:
     scheduler, workers = _validated_scheduler(args)
     graph = build_family(args)
     weights = assign_random_weights(graph, rng=args.seed)
+    effective = args.provider or f"theorem31-{args.construction}"
     print(f"graph: {args.family}, n={graph.number_of_nodes()}, m={graph.number_of_edges()}")
-    print(f"construction: {args.construction}, scheduler: {scheduler}"
+    print(f"provider: {effective}, scheduler: {scheduler}"
           + (f", workers: {workers}" if workers else ""))
     ours = distributed_mst(
-        graph, weights, shortcut_method="theorem31", construction=args.construction,
+        graph, weights, construction=args.construction, provider=args.provider,
         rng=args.seed, scheduler=scheduler, workers=workers,
     )
     base = distributed_mst(
@@ -152,15 +183,15 @@ def _cmd_mst(args: argparse.Namespace) -> int:
         rng=args.seed, scheduler=scheduler, workers=workers,
     )
     agree = ours.edges == base.edges
-    print(f"theorem31: {ours.stats.rounds} rounds, {ours.phases} phases")
+    print(f"{effective}: {ours.stats.rounds} rounds, {ours.phases} phases")
     print(f"baseline : {base.stats.rounds} rounds, {base.phases} phases")
     print(f"identical MSTs: {agree}, weight {ours.weight}")
     return 0 if agree else 1
 
 
 def _cmd_certify(args: argparse.Namespace) -> int:
-    from repro.core.certifying import certify_or_shortcut
     from repro.core.distributed import distributed_partial_shortcut
+    from repro.core.providers import ShortcutRequest, build_shortcut
     from repro.graphs.partition import voronoi_partition
     from repro.graphs.trees import bfs_tree
 
@@ -169,22 +200,40 @@ def _cmd_certify(args: argparse.Namespace) -> int:
     tree = bfs_tree(graph)
     num_parts = args.parts or max(2, graph.number_of_nodes() // 16)
     partition = voronoi_partition(graph, num_parts, rng=args.seed)
-    outcome = certify_or_shortcut(
-        graph, tree, partition, initial_delta=args.initial_delta, rng=args.seed
+    outcome = build_shortcut(
+        ShortcutRequest(
+            graph=graph, partition=partition, tree=tree, provider=args.provider,
+            rng=args.seed, options={"initial_delta": args.initial_delta},
+        )
     )
-    for index, (delta, succeeded) in enumerate(outcome.attempts):
-        verdict = "case I" if succeeded else "case II"
-        print(f"attempt {index}: delta={delta:.3f} -> {verdict}")
-    if outcome.witness is not None:
-        outcome.witness.validate(graph)
-        print(f"witness: {outcome.witness.num_nodes} nodes, "
-              f"{outcome.witness.num_edges} edges, "
-              f"density {outcome.witness.density:.3f} (validated)")
+    prov = outcome.provenance
+    attempts = prov.details.get("attempts")
+    if attempts is None:
+        # A non-certifying provider produces no attempt ledger or witness;
+        # report its provenance honestly instead of pretending it certified.
+        print(f"provider {prov.provider!r}: no certification ledger "
+              f"(iterations: {prov.iterations}, delta used: {prov.delta_used})")
     else:
-        print("no witness needed (first attempt succeeded)")
-    # Cross-check the certified delta end to end in the simulator: the
+        for index, (delta, succeeded) in enumerate(attempts):
+            verdict = "case I" if succeeded else "case II"
+            print(f"attempt {index}: delta={delta:.3f} -> {verdict}")
+        witness = prov.details.get("witness")
+        if witness is not None:
+            witness.validate(graph)
+            print(f"witness: {witness.num_nodes} nodes, "
+                  f"{witness.num_edges} edges, "
+                  f"density {witness.density:.3f} (validated)")
+        else:
+            print("no witness needed (first attempt succeeded)")
+    # Cross-check the construction's delta end to end in the simulator: the
     # measured Theorem 1.5 pipeline must also reach case I at that delta.
-    final_delta = outcome.attempts[-1][0]
+    # Delta-free providers (baseline/none) are checked at the shared
+    # auto-resolved delta for the graph.
+    final_delta = prov.delta_used
+    if final_delta is None:
+        from repro.core.providers import resolve_delta
+
+        final_delta = resolve_delta(graph)
     check = distributed_partial_shortcut(
         graph, partition, final_delta, rng=args.seed,
         scheduler=scheduler, workers=workers,
@@ -206,6 +255,7 @@ def main(argv: list[str] | None = None) -> int:
 
     quality = subparsers.add_parser("quality", help="build a shortcut, check bounds")
     _add_family_arguments(quality)
+    _add_provider_argument(quality)
     quality.add_argument("--parts", type=int, default=None)
     quality.add_argument("--delta", type=float, default=None)
     quality.add_argument("--fast", action="store_true", help="approximate dilation")
@@ -220,17 +270,20 @@ def main(argv: list[str] | None = None) -> int:
     mst = subparsers.add_parser("mst", help="distributed MST, both arms")
     _add_family_arguments(mst)
     _add_scheduler_arguments(mst)
+    _add_provider_argument(mst)
     mst.add_argument(
         "--construction", default="centralized",
         choices=("centralized", "simulated"),
-        help="shortcut construction arm (simulated runs the Theorem 1.5 "
-             "pipeline under the chosen scheduler)",
+        help="legacy alias for --provider theorem31-<construction> "
+             "(simulated runs the Theorem 1.5 pipeline under the chosen "
+             "scheduler)",
     )
     mst.set_defaults(func=_cmd_mst)
 
     certify = subparsers.add_parser("certify", help="certifying construction")
     _add_family_arguments(certify)
     _add_scheduler_arguments(certify)
+    _add_provider_argument(certify, default="certifying")
     certify.add_argument("--parts", type=int, default=None)
     certify.add_argument("--initial-delta", type=float, default=0.25)
     certify.set_defaults(func=_cmd_certify)

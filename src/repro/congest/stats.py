@@ -108,6 +108,23 @@ class RoundStats:
             phases=phases,
         )
 
+    def copy(self) -> "RoundStats":
+        """Deep copy (nested phases included).
+
+        Lives here, next to :meth:`__add__`/:meth:`merge`, so adding a
+        field to the dataclass keeps all three in one place — a copy that
+        silently dropped a new counter would corrupt cached accounting.
+        """
+        return RoundStats(
+            rounds=self.rounds,
+            messages=self.messages,
+            message_bits=self.message_bits,
+            activations=self.activations,
+            messages_by_round=dict(self.messages_by_round),
+            edge_messages=dict(self.edge_messages),
+            phases={name: stats.copy() for name, stats in self.phases.items()},
+        )
+
     def add_phase(self, name: str, stats: "RoundStats") -> None:
         """Record ``stats`` as a named phase and add it to the totals.
 

@@ -13,6 +13,12 @@ Public entry points:
   shortcut for general graphs (Section 1.3).
 * :func:`repro.core.distributed.distributed_partial_shortcut` — Theorem
   1.5: the CONGEST construction with measured round complexity.
+* :mod:`repro.core.providers` — the **ShortcutProvider registry**, the
+  single entry point every application routes through:
+  ``build_shortcut(ShortcutRequest(graph, partition, ...))`` dispatches to
+  a registered provider (``baseline``, ``theorem31-centralized``,
+  ``theorem31-simulated``, ``greedy``, ``certifying``, ``none``) and
+  memoizes deterministic constructions per ``(graph, partition)``.
 """
 
 from repro.core.baseline import bfs_tree_shortcut
@@ -23,6 +29,21 @@ from repro.core.partial import (
     PartialShortcutResult,
     build_partial_shortcut,
     mark_overcongested_edges,
+)
+from repro.core.providers import (
+    ShortcutOutcome,
+    ShortcutProvenance,
+    ShortcutProvider,
+    ShortcutRequest,
+    available_providers,
+    build_shortcut,
+    clear_shortcut_cache,
+    get_provider,
+    provider_name,
+    register_provider,
+    resolve_delta,
+    resolve_tree,
+    shortcut_cache_info,
 )
 from repro.core.shortcut import Shortcut, ShortcutQuality, TreeRestrictedShortcut
 
@@ -40,4 +61,17 @@ __all__ = [
     "certify_or_shortcut",
     "sample_dense_minor",
     "bfs_tree_shortcut",
+    "ShortcutRequest",
+    "ShortcutOutcome",
+    "ShortcutProvenance",
+    "ShortcutProvider",
+    "build_shortcut",
+    "register_provider",
+    "get_provider",
+    "available_providers",
+    "provider_name",
+    "resolve_delta",
+    "resolve_tree",
+    "shortcut_cache_info",
+    "clear_shortcut_cache",
 ]

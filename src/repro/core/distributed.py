@@ -45,7 +45,13 @@ from repro.graphs.trees import RootedTree
 from repro.util.errors import ShortcutError
 from repro.util.rng import ensure_rng, part_sample_hash
 
-__all__ = ["DistributedShortcutResult", "distributed_partial_shortcut", "SweepNode"]
+__all__ = [
+    "DistributedShortcutResult",
+    "DistributedFullShortcutResult",
+    "distributed_partial_shortcut",
+    "distributed_full_shortcut",
+    "SweepNode",
+]
 
 _ID_TAG = 0
 
@@ -317,3 +323,111 @@ def distributed_partial_shortcut(
         )
         stats.add_phase("verify", verification.stats)
     return result
+
+
+@dataclass
+class DistributedFullShortcutResult:
+    """A full shortcut obtained by iterating the distributed construction.
+
+    Attributes:
+        shortcut: the tree-restricted shortcut covering every part.
+        tree: the BFS tree of the final iteration (the one the shortcut is
+            restricted to).
+        stats: accumulated measured rounds/messages over all iterations,
+            with the per-phase breakdown (``bfs``/``meta``/``sweep``)
+            summed across iterations.
+        iterations: number of distributed partial constructions run.
+        escalations: δ doublings forced by iterations satisfying no part.
+        delta_used: the δ of the final (successful) iteration.
+    """
+
+    shortcut: TreeRestrictedShortcut
+    tree: RootedTree
+    stats: RoundStats
+    iterations: int
+    escalations: int
+    delta_used: float
+
+
+def distributed_full_shortcut(
+    graph: nx.Graph,
+    partition: Partition,
+    delta: float,
+    tree: RootedTree | None = None,
+    rng: int | random.Random | None = None,
+    scheduler: str = "event",
+    workers: int | None = None,
+    max_escalations: int = 40,
+) -> DistributedFullShortcutResult:
+    """Iterate Theorem 1.5 over unsatisfied parts until all are covered.
+
+    This is the Observation 2.7 loop for the *measured* pipeline (the
+    ``theorem31-simulated`` provider): each iteration runs
+    :func:`distributed_partial_shortcut` on the still-unsatisfied parts,
+    accumulating its measured rounds; an iteration that satisfies no part
+    doubles δ and retries.
+
+    Args:
+        graph, partition: the instance.
+        delta: starting minor-density parameter.
+        tree: only used when the partition has no parts (every iteration
+            builds its own measured BFS tree); defaults to a memoized BFS
+            tree in that edge case.
+        rng: seed or generator (consumed by every iteration's pipeline).
+        scheduler, workers: simulator backend plumbing.
+        max_escalations: cap on δ doublings.
+
+    Raises:
+        ShortcutError: when the construction fails to converge within
+            ``max_escalations`` doublings.
+    """
+    rng = ensure_rng(rng)
+    remaining = list(range(len(partition)))
+    assigned: dict[int, frozenset[int]] = {}
+    total = RoundStats()
+    current_delta = delta
+    escalations = 0
+    iterations = 0
+    if tree is None and not remaining:
+        from repro.core.providers import resolve_tree
+
+        tree = resolve_tree(graph)
+    final_tree = tree
+    while remaining:
+        sub = partition.restrict(graph, remaining)
+        result = distributed_partial_shortcut(
+            graph, sub, current_delta, rng=rng, run_verification=False,
+            scheduler=scheduler, workers=workers,
+        )
+        iterations += 1
+        total = total + result.stats
+        final_tree = result.tree
+        if not result.satisfied:
+            current_delta *= 2
+            escalations += 1
+            if escalations > max_escalations:
+                raise ShortcutError("distributed construction failed to converge")
+            continue
+        satisfied = set(result.satisfied)
+        next_remaining = []
+        for sub_index, original in enumerate(remaining):
+            if sub_index in satisfied:
+                assigned[original] = result.subgraphs[sub_index]
+            else:
+                next_remaining.append(original)
+        remaining = next_remaining
+    shortcut = TreeRestrictedShortcut(
+        graph,
+        partition,
+        final_tree,
+        [assigned[i] for i in range(len(partition))],
+        validate=False,
+    )
+    return DistributedFullShortcutResult(
+        shortcut=shortcut,
+        tree=final_tree,
+        stats=total,
+        iterations=iterations,
+        escalations=escalations,
+        delta_used=current_delta,
+    )

@@ -58,6 +58,7 @@ def build_full_shortcut(
     max_iterations: int | None = None,
     escalate_on_stall: bool = False,
     escalation_factor: float = 2.0,
+    seed_result: PartialShortcutResult | None = None,
 ) -> FullShortcutResult:
     """Iterate Theorem 3.1 until every part has a shortcut (Observation 2.7).
 
@@ -72,14 +73,26 @@ def build_full_shortcut(
             ``delta < δ(G)``), multiply δ by ``escalation_factor`` and retry
             instead of raising. This yields the adaptive construction noted
             at the end of Section 3.1.
+        seed_result: an already-computed first iteration (a
+            :func:`~repro.core.partial.build_partial_shortcut` run over the
+            *whole* ``partition`` at ``delta``), consumed instead of
+            recomputing it — e.g. the successful case-I attempt the
+            certifying construction just produced. Its parts and δ must
+            match the request.
 
     Raises:
-        ShortcutError: on stall without escalation, or when the iteration
-            cap is exceeded.
+        ShortcutError: on stall without escalation, when the iteration cap
+            is exceeded, or on a mismatched ``seed_result``.
     """
     k = len(partition)
     if k == 0:
         raise ShortcutError("cannot build a shortcut for an empty part collection")
+    if seed_result is not None and (
+        seed_result.partition.parts != partition.parts or seed_result.delta != delta
+    ):
+        raise ShortcutError(
+            "seed_result does not match the requested partition/delta"
+        )
     if max_iterations is None:
         max_iterations = 2 * max(1, math.ceil(math.log2(max(k, 2)))) + 8
     remaining = list(range(k))
@@ -94,8 +107,11 @@ def build_full_shortcut(
                 f"({len(remaining)} parts remain); delta={current_delta} is likely "
                 "far below the true minor density"
             )
-        sub_partition = partition.restrict(graph, remaining)
-        result = build_partial_shortcut(graph, tree, sub_partition, current_delta)
+        if seed_result is not None:
+            result, seed_result = seed_result, None
+        else:
+            sub_partition = partition.restrict(graph, remaining)
+            result = build_partial_shortcut(graph, tree, sub_partition, current_delta)
         history.append(result)
         iterations += 1
         if not result.satisfied:

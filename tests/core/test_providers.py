@@ -1,0 +1,285 @@
+"""Tests for the ShortcutProvider registry (the unified construction API)."""
+
+import pytest
+
+from repro.apps.connectivity import subgraph_components
+from repro.apps.mincut import distributed_mincut
+from repro.apps.mst import distributed_mst
+from repro.apps.partwise import solve_partwise_aggregation, solve_partwise_multicast
+from repro.core import providers
+from repro.core.providers import (
+    ShortcutOutcome,
+    ShortcutProvenance,
+    ShortcutProvider,
+    ShortcutRequest,
+    available_providers,
+    build_shortcut,
+    clear_shortcut_cache,
+    get_provider,
+    provider_name,
+    register_provider,
+    resolve_delta,
+)
+from repro.graphs.adjacency import canonical_edge
+from repro.graphs.generators import grid_graph, k_tree
+from repro.graphs.partition import voronoi_partition
+from repro.util.errors import ShortcutError
+
+EXPECTED_PROVIDERS = (
+    "baseline",
+    "certifying",
+    "greedy",
+    "none",
+    "theorem31-centralized",
+    "theorem31-simulated",
+)
+
+
+class TestRegistry:
+    def test_all_default_providers_registered(self):
+        assert available_providers() == EXPECTED_PROVIDERS
+
+    def test_get_provider_unknown_lists_registry(self):
+        with pytest.raises(ShortcutError) as exc:
+            get_provider("psychic")
+        for name in EXPECTED_PROVIDERS:
+            assert name in str(exc.value)
+
+    def test_duplicate_registration_rejected(self):
+        class Dup(ShortcutProvider):
+            name = "baseline"
+
+        with pytest.raises(ShortcutError):
+            register_provider(Dup())
+
+    def test_replace_existing_allows_override(self):
+        original = get_provider("baseline")
+
+        class Override(ShortcutProvider):
+            name = "baseline"
+
+        try:
+            register_provider(Override(), replace_existing=True)
+            assert isinstance(get_provider("baseline"), Override)
+        finally:
+            register_provider(original, replace_existing=True)
+
+    def test_provider_name_mapping(self):
+        assert provider_name("theorem31", "centralized") == "theorem31-centralized"
+        assert provider_name("theorem31", "simulated") == "theorem31-simulated"
+        assert provider_name("baseline", "centralized") == "baseline"
+        assert provider_name("none", "simulated") == "none"
+        assert provider_name("greedy") == "greedy"
+        assert provider_name("certifying") == "certifying"
+        assert provider_name("theorem31-simulated") == "theorem31-simulated"
+        assert provider_name("theorem31", "centralized", provider="greedy") == "greedy"
+
+    def test_provider_name_unknown_construction(self):
+        with pytest.raises(ShortcutError, match="construction"):
+            provider_name("theorem31", "telepathy")
+
+    def test_provider_name_unknown_method_lists_registry(self):
+        with pytest.raises(ShortcutError) as exc:
+            provider_name("magic")
+        for name in EXPECTED_PROVIDERS:
+            assert name in str(exc.value)
+
+
+class TestUniformValidationAcrossApps:
+    """Satellite bugfix: every app rejects unknown providers identically,
+    with a ShortcutError naming the registered providers — and does so
+    up front (min cut used to only forward, failing deep inside the first
+    MST run)."""
+
+    @staticmethod
+    def _entry_points(graph):
+        partition = voronoi_partition(graph, 3, rng=1)
+        sub = {canonical_edge(u, v) for u, v in graph.edges()}
+        return [
+            lambda: distributed_mst(graph, provider="psychic"),
+            lambda: distributed_mincut(graph, provider="psychic"),
+            lambda: subgraph_components(graph, sub, provider="psychic"),
+            lambda: solve_partwise_aggregation(
+                graph, partition, {}, min, provider="psychic"
+            ),
+            lambda: solve_partwise_multicast(
+                graph, partition, {0: 1, 1: 1, 2: 1}, provider="psychic"
+            ),
+        ]
+
+    def test_unknown_provider_uniform_error(self):
+        graph = grid_graph(4, 4)
+        for entry in self._entry_points(graph):
+            with pytest.raises(ShortcutError) as exc:
+                entry()
+            message = str(exc.value)
+            for name in EXPECTED_PROVIDERS:
+                assert name in message, message
+
+    def test_unknown_method_uniform_error(self):
+        graph = grid_graph(4, 4)
+        partition = voronoi_partition(graph, 3, rng=1)
+        for call in (
+            lambda: distributed_mst(graph, shortcut_method="magic"),
+            lambda: distributed_mincut(graph, shortcut_method="magic"),
+            lambda: subgraph_components(graph, set(), shortcut_method="magic"),
+            lambda: solve_partwise_aggregation(
+                graph, partition, {}, min, shortcut_method="magic"
+            ),
+            lambda: solve_partwise_multicast(
+                graph, partition, {0: 1, 1: 1, 2: 1}, shortcut_method="magic"
+            ),
+        ):
+            with pytest.raises(ShortcutError) as exc:
+                call()
+            assert "registered providers" in str(exc.value)
+
+    def test_unknown_construction_uniform_error(self):
+        graph = grid_graph(4, 4)
+        partition = voronoi_partition(graph, 3, rng=1)
+        for call in (
+            lambda: distributed_mst(graph, construction="telepathy"),
+            lambda: distributed_mincut(graph, construction="telepathy"),
+            lambda: subgraph_components(graph, set(), construction="telepathy"),
+            lambda: solve_partwise_aggregation(
+                graph, partition, {}, min, construction="telepathy"
+            ),
+            # The pre-redesign partwise let (baseline, <bogus construction>)
+            # through silently; the registry rejects it like everyone else.
+            lambda: solve_partwise_aggregation(
+                graph, partition, {}, min,
+                shortcut_method="baseline", construction="telepathy",
+            ),
+        ):
+            with pytest.raises(ShortcutError, match="construction"):
+                call()
+
+
+class TestSharedDeltaResolution:
+    """Satellite regression: the triplicated analytic-or-degeneracy fallback
+    is gone; every app resolves the same default delta for the same graph
+    through providers.resolve_delta."""
+
+    def test_all_apps_resolve_identical_default_delta(self, monkeypatch):
+        graph = k_tree(24, 2, rng=3)
+        partition = voronoi_partition(graph, 4, rng=4)
+        sub = {canonical_edge(u, v) for u, v in graph.edges()}
+        seen = []
+        original = providers.resolve_delta
+
+        def spy(g, delta=None):
+            value = original(g, delta)
+            if delta is None and g is graph:
+                seen.append(value)
+            return value
+
+        monkeypatch.setattr(providers, "resolve_delta", spy)
+        distributed_mst(graph, rng=1)
+        solve_partwise_aggregation(graph, partition, {v: 1 for v in graph}, min, rng=1)
+        subgraph_components(graph, sub, rng=1)
+        distributed_mincut(graph, rng=1)
+        assert seen, "no app routed through the shared delta resolution"
+        assert len(set(seen)) == 1
+        assert seen[0] == original(graph)
+
+    def test_resolve_delta_explicit_wins(self):
+        graph = grid_graph(3, 3)
+        assert resolve_delta(graph, 7.5) == 7.5
+
+    def test_resolve_delta_memoized_per_graph(self):
+        clear_shortcut_cache()
+        graph = grid_graph(3, 3)
+        assert resolve_delta(graph) == resolve_delta(graph)
+
+
+class TestProviderOutcomes:
+    @pytest.mark.parametrize("name", EXPECTED_PROVIDERS)
+    def test_every_provider_covers_every_part(self, name):
+        graph = grid_graph(6, 6)
+        partition = voronoi_partition(graph, 4, rng=5)
+        outcome = build_shortcut(
+            ShortcutRequest(
+                graph=graph, partition=partition, provider=name, delta=3.0, rng=6
+            )
+        )
+        assert isinstance(outcome, ShortcutOutcome)
+        assert isinstance(outcome.provenance, ShortcutProvenance)
+        assert outcome.provenance.provider == name
+        assert len(outcome.shortcut.subgraphs) == len(partition)
+        quality = outcome.quality()
+        assert quality.dilation < float("inf")
+
+    def test_simulated_provider_charges_rounds(self):
+        graph = grid_graph(5, 5)
+        partition = voronoi_partition(graph, 4, rng=7)
+        outcome = build_shortcut(
+            ShortcutRequest(
+                graph=graph, partition=partition, provider="theorem31-simulated",
+                delta=3.0, rng=8,
+            )
+        )
+        assert outcome.stats.rounds > 0
+        assert set(outcome.stats.phases) >= {"bfs", "meta", "sweep"}
+        assert outcome.provenance.delta_used is not None
+
+    def test_certifying_provider_reports_attempt_ledger(self):
+        graph = grid_graph(5, 5)
+        partition = voronoi_partition(graph, 4, rng=9)
+        outcome = build_shortcut(
+            ShortcutRequest(
+                graph=graph, partition=partition, provider="certifying",
+                rng=10, options={"initial_delta": 3.0},
+            )
+        )
+        attempts = outcome.provenance.details["attempts"]
+        assert attempts[-1][1] is True
+        assert outcome.provenance.delta_used == attempts[-1][0]
+
+    def test_certifying_provider_reuses_successful_attempt(self, monkeypatch):
+        # The Observation 2.7 completion must be seeded with the case-I
+        # partial the certifying run just produced, not recompute it: when
+        # that attempt satisfies every part, the completion loop makes zero
+        # build_partial_shortcut calls of its own.
+        import repro.core.full as full_module
+
+        calls = []
+        original = full_module.build_partial_shortcut
+
+        def spy(*args, **kwargs):
+            calls.append(args)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(full_module, "build_partial_shortcut", spy)
+        graph = grid_graph(5, 5)
+        partition = voronoi_partition(graph, 4, rng=9)
+        outcome = build_shortcut(
+            ShortcutRequest(
+                graph=graph, partition=partition, provider="certifying",
+                rng=10, options={"initial_delta": 3.0},
+            )
+        )
+        assert len(outcome.shortcut.subgraphs) == len(partition)
+        full_result = outcome.provenance.details["full_result"]
+        assert full_result.per_iteration, "seed iteration missing from history"
+        assert not calls, "completion rebuilt the attempt certify already ran"
+
+    def test_greedy_random_order_not_cached(self):
+        clear_shortcut_cache()
+        graph = grid_graph(5, 5)
+        partition = voronoi_partition(graph, 4, rng=11)
+        for _ in range(2):
+            outcome = build_shortcut(
+                ShortcutRequest(
+                    graph=graph, partition=partition, provider="greedy",
+                    delta=3.0, rng=12, options={"order": "random"},
+                )
+            )
+            assert not outcome.provenance.cache_hit
+
+    def test_bad_scheduler_rejected(self):
+        graph = grid_graph(4, 4)
+        partition = voronoi_partition(graph, 3, rng=13)
+        with pytest.raises(ShortcutError):
+            build_shortcut(
+                ShortcutRequest(graph=graph, partition=partition, scheduler="bogus")
+            )

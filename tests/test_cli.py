@@ -24,6 +24,26 @@ class TestQuality:
         with pytest.raises(SystemExit):
             main(["quality", "--family", "nonsense"])
 
+    def test_provider_flag_baseline(self, capsys):
+        code = main(["quality", "--family", "grid", "--width", "6", "--height", "6",
+                     "--parts", "4", "--delta", "3", "--fast",
+                     "--provider", "baseline"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "provider = baseline" in out
+
+    def test_provider_flag_certifying_verifies_bounds(self, capsys):
+        code = main(["quality", "--family", "grid", "--width", "6", "--height", "6",
+                     "--parts", "4", "--delta", "3", "--fast",
+                     "--provider", "certifying"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ALL BOUNDS HOLD" in out
+
+    def test_unknown_provider_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["quality", "--family", "grid", "--provider", "psychic"])
+
 
 class TestLowerBound:
     def test_default_instance(self, capsys):
@@ -61,6 +81,14 @@ class TestMst:
             main(["mst", "--family", "ktree", "--n", "32", "--k", "2",
                   "--workers", "0"])
 
+    def test_provider_flag_overrides_construction(self, capsys):
+        code = main(["mst", "--family", "ktree", "--n", "32", "--k", "2",
+                     "--seed", "3", "--provider", "baseline"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "provider: baseline" in out
+        assert "identical MSTs: True" in out
+
 
 class TestCertify:
     def test_grid_certify(self, capsys):
@@ -78,6 +106,15 @@ class TestCertify:
         out = capsys.readouterr().out
         assert code == 0
         assert "distributed check (sharded)" in out
+
+    def test_certify_non_certifying_provider_reports_honestly(self, capsys):
+        code = main(["certify", "--family", "grid", "--width", "6", "--height", "6",
+                     "--parts", "6", "--provider", "baseline"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no certification ledger" in out
+        assert "no witness needed" not in out
+        assert "distributed check (event)" in out
 
     def test_certify_unknown_scheduler_rejected(self):
         with pytest.raises(SystemExit):
