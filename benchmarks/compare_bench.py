@@ -1,0 +1,179 @@
+"""Bench-trajectory gate: diff pytest-benchmark JSON against committed baselines.
+
+CI uploads ``BENCH_*.json`` artifacts for the quick-mode benchmark jobs;
+this script turns that upload into a *gate*: each benchmark's wall-clock
+is compared against the committed baseline under ``benchmarks/baselines/``
+and the run fails on a >25% regression.
+
+Raw seconds do not transfer between machines (a laptop seeds the baseline,
+a CI runner checks it), so every baseline stores the *calibration time* of
+the machine that seeded it — the wall-clock of a fixed pure-Python
+workload — and the gate rescales the baseline by the ratio of the current
+machine's calibration to the seeding machine's before applying the
+threshold. The comparison is therefore machine-speed-relative while still
+measuring real wall-clock. Two further noise guards keep the gate from
+flaking on shared runners: the compared statistic is each benchmark's
+*minimum* round time (noisy neighbors only ever add time, so the min is
+the stable wall-clock signal pytest-benchmark collects), and a small
+absolute slack is added on top of the relative threshold so
+millisecond-scale benchmarks are not gated on sub-millisecond jitter.
+
+Usage::
+
+    python benchmarks/compare_bench.py BENCH_e16_runtime.json [...]
+        [--baseline-dir benchmarks/baselines] [--threshold 0.25] [--update]
+
+* default: compare every input against its baseline; exit 1 on regression;
+* ``--update``: (re)seed the baselines from the inputs instead;
+* benchmarks present in the input but absent from the baseline pass with a
+  note (they join the trajectory at the next ``--update``);
+* baseline entries missing from the run fail — a renamed or deleted
+  benchmark must shrink the trajectory explicitly via ``--update``, never
+  silently;
+* a missing baseline *file* fails — an uploaded artifact without a
+  committed trajectory is exactly the gap this gate exists to close.
+
+``REPRO_BENCH_GATE_THRESHOLD`` overrides ``--threshold``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+DEFAULT_BASELINE_DIR = pathlib.Path(__file__).parent / "baselines"
+DEFAULT_THRESHOLD = 0.25
+# Absolute jitter allowance on top of the relative threshold (seconds).
+ABSOLUTE_SLACK = 0.005
+SCHEMA = 1
+
+
+def calibrate() -> float:
+    """Seconds for a fixed pure-Python workload (best of 3)."""
+
+    def unit() -> float:
+        start = time.perf_counter()
+        acc = 0
+        table: dict[int, int] = {}
+        for i in range(400_000):
+            acc += i % 7
+            table[i % 1024] = acc
+        assert acc > 0 and table
+        return time.perf_counter() - start
+
+    return min(unit() for _ in range(3))
+
+
+def load_times(path: pathlib.Path) -> dict[str, float]:
+    """``{benchmark name: min seconds}`` from a pytest-benchmark JSON.
+
+    The *min* round time, not the mean: shared-runner noise only ever adds
+    wall-clock, so the minimum over rounds is the statistic that transfers
+    between runs.
+    """
+    data = json.loads(path.read_text())
+    times = {
+        bench["name"]: float(bench["stats"]["min"])
+        for bench in data.get("benchmarks", [])
+    }
+    if not times:
+        raise SystemExit(f"{path}: no benchmarks in file")
+    return times
+
+
+def update_baselines(
+    inputs: list[pathlib.Path], baseline_dir: pathlib.Path
+) -> None:
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    calibration = calibrate()
+    for path in inputs:
+        baseline = {
+            "schema": SCHEMA,
+            "calibration": calibration,
+            "times": load_times(path),
+        }
+        target = baseline_dir / path.name
+        target.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+        print(f"seeded {target} (calibration {calibration * 1e3:.1f} ms)")
+
+
+def compare(
+    inputs: list[pathlib.Path], baseline_dir: pathlib.Path, threshold: float
+) -> int:
+    calibration = calibrate()
+    failures = []
+    for path in inputs:
+        baseline_path = baseline_dir / path.name
+        if not baseline_path.exists():
+            failures.append(
+                f"{path.name}: no committed baseline at {baseline_path} "
+                f"(seed it: python benchmarks/compare_bench.py --update {path})"
+            )
+            continue
+        baseline = json.loads(baseline_path.read_text())
+        scale = calibration / baseline["calibration"]
+        times = load_times(path)
+        for name, observed in sorted(times.items()):
+            reference = baseline["times"].get(name)
+            if reference is None:
+                print(f"  NEW  {name}: {observed * 1e3:.1f} ms (not in baseline yet)")
+                continue
+            allowed = reference * scale * (1.0 + threshold) + ABSOLUTE_SLACK
+            ratio = observed / (reference * scale)
+            verdict = "ok" if observed <= allowed else "REGRESSION"
+            print(
+                f"  {verdict:>10}  {name}: {observed * 1e3:.1f} ms vs "
+                f"baseline {reference * 1e3:.1f} ms x{scale:.2f} speed "
+                f"(ratio {ratio:.2f}, allowed {allowed * 1e3:.1f} ms)"
+            )
+            if observed > allowed:
+                failures.append(
+                    f"{path.name}:{name}: {observed * 1e3:.1f} ms exceeds "
+                    f"{allowed * 1e3:.1f} ms ({ratio:.2f}x of scaled baseline)"
+                )
+        # The inverse of the missing-baseline rule: a benchmark that
+        # vanishes from the suite must not silently shrink the gated
+        # trajectory — rename/removal goes through --update in the same PR.
+        for name in sorted(set(baseline["times"]) - set(times)):
+            failures.append(
+                f"{path.name}:{name}: in the committed baseline but missing "
+                f"from the run (renamed/removed? re-seed with --update)"
+            )
+    if failures:
+        print("\nbench-trajectory gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nbench-trajectory gate passed")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("inputs", nargs="+", type=pathlib.Path,
+                        help="pytest-benchmark JSON files (BENCH_*.json)")
+    parser.add_argument("--baseline-dir", type=pathlib.Path,
+                        default=DEFAULT_BASELINE_DIR)
+    parser.add_argument("--threshold", type=float, default=None,
+                        help=f"allowed regression fraction "
+                             f"(default {DEFAULT_THRESHOLD})")
+    parser.add_argument("--update", action="store_true",
+                        help="(re)seed the baselines from the inputs")
+    args = parser.parse_args(argv)
+    threshold = args.threshold
+    if threshold is None:
+        threshold = float(
+            os.environ.get("REPRO_BENCH_GATE_THRESHOLD", DEFAULT_THRESHOLD)
+        )
+    if args.update:
+        update_baselines(args.inputs, args.baseline_dir)
+        return 0
+    return compare(args.inputs, args.baseline_dir, threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

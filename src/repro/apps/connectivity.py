@@ -69,6 +69,7 @@ def subgraph_components(
     scheduler: str = "event",
     workers: int | None = None,
     provider: str | None = None,
+    latency_model: object = None,
 ) -> ConnectivityResult:
     """Connected components of ``(V, subgraph_edges)`` in the CONGEST model.
 
@@ -81,20 +82,24 @@ def subgraph_components(
             measured Theorem 1.5 distributed pipeline).
         delta: minor-density parameter for the shortcut construction.
         scheduler: simulator scheduler for the simulated construction
-            (``"event"``, ``"dense"``, or ``"sharded"``; see
+            (``"event"``, ``"dense"``, ``"sharded"``, or ``"async"``; see
             :mod:`repro.congest`).
         workers: process count for the sharded scheduler (``None`` =
             backend default).
         provider: explicit shortcut-provider name (see
             :func:`repro.core.providers.available_providers`); overrides
             ``shortcut_method``/``construction``.
+        latency_model: per-edge latency model for the async scheduler
+            (``None`` = uniform/lockstep-equivalent).
 
     Raises:
         GraphStructureError: if some subgraph edge is not a ``G`` edge.
         ShortcutError: unknown provider/method/construction.
     """
     provider_name(shortcut_method, construction, provider)  # fail fast, uniformly
-    validate_scheduler(scheduler, ShortcutError, workers=workers)
+    validate_scheduler(
+        scheduler, ShortcutError, workers=workers, latency_model=latency_model
+    )
     rng = ensure_rng(rng)
     normalized: set[Edge] = set()
     for u, v in subgraph_edges:
@@ -148,12 +153,14 @@ def subgraph_components(
                 rng=rng,
                 scheduler=scheduler,
                 workers=workers,
+                latency_model=latency_model,
             )
         )
         shortcut = outcome.shortcut
         phase_stats = phase_stats + outcome.stats
         aggregation = partwise_aggregate(
-            graph, partition, shortcut, values, _min_or_none, rng=rng
+            graph, partition, shortcut, values, _min_or_none, rng=rng,
+            latency_model=latency_model,
         )
         if aggregation.incomplete:
             raise ShortcutError(

@@ -88,6 +88,7 @@ def distributed_mincut(
     scheduler: str = "event",
     workers: int | None = None,
     provider: str | None = None,
+    latency_model: object = None,
 ) -> MinCutResult:
     """Unweighted min cut (edge connectivity) with measured round accounting.
 
@@ -103,20 +104,25 @@ def distributed_mincut(
         construction: forwarded to :func:`repro.apps.mst.distributed_mst`
             (``"centralized"`` or ``"simulated"``).
         scheduler: simulator scheduler for the simulated construction
-            (``"event"``, ``"dense"``, or ``"sharded"``; see
+            (``"event"``, ``"dense"``, ``"sharded"``, or ``"async"``; see
             :mod:`repro.congest`).
         workers: process count for the sharded scheduler (``None`` =
             backend default).
         provider: explicit shortcut-provider name (see
             :func:`repro.core.providers.available_providers`); overrides
             ``shortcut_method``/``construction``.
+        latency_model: per-edge latency model for the async scheduler,
+            forwarded to every packed MST (``None`` =
+            uniform/lockstep-equivalent).
 
     Raises:
         GraphStructureError: if the graph is disconnected or has < 2 nodes.
         ShortcutError: unknown provider/method/construction.
     """
     provider_name(shortcut_method, construction, provider)  # fail fast, uniformly
-    validate_scheduler(scheduler, ShortcutError, workers=workers)
+    validate_scheduler(
+        scheduler, ShortcutError, workers=workers, latency_model=latency_model
+    )
     if graph.number_of_nodes() < 2:
         raise GraphStructureError("min cut needs at least 2 nodes")
     if not nx.is_connected(graph):
@@ -151,6 +157,7 @@ def distributed_mincut(
             scheduler=scheduler,
             workers=workers,
             provider=provider,
+            latency_model=latency_model,
         )
         stats.add_phase(f"tree_{index}", mst.stats)
         for edge in mst.edges:

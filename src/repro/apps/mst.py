@@ -91,6 +91,7 @@ def distributed_mst(
     scheduler: str = "event",
     workers: int | None = None,
     provider: str | None = None,
+    latency_model: object = None,
 ) -> MstResult:
     """Compute the MST with measured CONGEST round accounting.
 
@@ -110,13 +111,18 @@ def distributed_mst(
             shared :func:`repro.core.providers.resolve_delta` rule).
         max_phases: safety cap (default ``2·ceil(log2 n) + 4``).
         scheduler: simulator scheduler for the ``"simulated"`` construction
-            (``"event"``, ``"dense"``, or ``"sharded"``; see
+            (``"event"``, ``"dense"``, ``"sharded"``, or ``"async"``; see
             :mod:`repro.congest`).
         workers: process count for the sharded scheduler (``None`` =
             backend default).
         provider: explicit shortcut-provider name (see
             :func:`repro.core.providers.available_providers`); overrides
             ``shortcut_method``/``construction``.
+        latency_model: per-edge latency model (requires
+            ``scheduler="async"``): the simulated construction *and* every
+            phase's part-wise aggregation run latency-realistically, so
+            ``MstResult.stats.virtual_time`` reports the latency-weighted
+            completion alongside the round count.
 
     Raises:
         GraphStructureError: disconnected input or non-integer weights.
@@ -137,7 +143,9 @@ def distributed_mst(
                 f"edge weights must be integers (CONGEST messages); {edge} has {weight!r}"
             )
     provider_name(shortcut_method, construction, provider)  # fail fast, uniformly
-    validate_scheduler(scheduler, ShortcutError, workers=workers)
+    validate_scheduler(
+        scheduler, ShortcutError, workers=workers, latency_model=latency_model
+    )
     n = graph.number_of_nodes()
     if max_phases is None:
         max_phases = 2 * max(1, math.ceil(math.log2(max(n, 2)))) + 4
@@ -180,6 +188,7 @@ def distributed_mst(
                 rng=rng,
                 scheduler=scheduler,
                 workers=workers,
+                latency_model=latency_model,
             )
         )
         shortcut = outcome.shortcut
@@ -188,7 +197,8 @@ def distributed_mst(
         # Step 3: per-node local MOE, then part-wise min aggregation.
         values = _local_moe_values(graph, weights, fragment_of)
         aggregation = partwise_aggregate(
-            graph, partition, shortcut, values, _min_edge, rng=rng
+            graph, partition, shortcut, values, _min_edge, rng=rng,
+            latency_model=latency_model,
         )
         if aggregation.incomplete:
             raise ShortcutError(

@@ -76,6 +76,7 @@ def solve_partwise_aggregation(
     scheduler: str = "event",
     workers: int | None = None,
     provider: str | None = None,
+    latency_model: object = None,
 ) -> PartwiseSolution:
     """Solve Definition 2.1's aggregation variant end to end.
 
@@ -90,20 +91,26 @@ def solve_partwise_aggregation(
         delta: minor-density parameter; default analytic-or-degeneracy
             (the shared :func:`repro.core.providers.resolve_delta` rule).
         scheduler: simulator scheduler for the simulated construction
-            (``"event"``, ``"dense"``, or ``"sharded"``; see
+            (``"event"``, ``"dense"``, ``"sharded"``, or ``"async"``; see
             :mod:`repro.congest`).
         workers: process count for the sharded scheduler (``None`` =
             backend default).
         provider: explicit shortcut-provider name (see
             :func:`repro.core.providers.available_providers`); overrides
             ``shortcut_method``/``construction``.
+        latency_model: per-edge latency model (requires
+            ``scheduler="async"``): construction and aggregation run
+            latency-realistically and the aggregation stats report
+            ``virtual_time``.
 
     Raises:
         ShortcutError: unknown provider/method/construction, or an
             aggregation that cannot complete (disconnected ``G[P_i] + H_i``).
     """
     provider_name(shortcut_method, construction, provider)  # fail fast, uniformly
-    validate_scheduler(scheduler, ShortcutError, workers=workers)
+    validate_scheduler(
+        scheduler, ShortcutError, workers=workers, latency_model=latency_model
+    )
     rng = ensure_rng(rng)
     outcome = build_shortcut(
         ShortcutRequest(
@@ -116,10 +123,14 @@ def solve_partwise_aggregation(
             rng=rng,
             scheduler=scheduler,
             workers=workers,
+            latency_model=latency_model,
         )
     )
     shortcut = outcome.shortcut
-    result = partwise_aggregate(graph, partition, shortcut, values, combine, rng=rng)
+    result = partwise_aggregate(
+        graph, partition, shortcut, values, combine, rng=rng,
+        latency_model=latency_model,
+    )
     if result.incomplete:
         raise ShortcutError(
             f"aggregation incomplete for parts {result.incomplete}; "
@@ -145,6 +156,7 @@ def solve_partwise_multicast(
     scheduler: str = "event",
     workers: int | None = None,
     provider: str | None = None,
+    latency_model: object = None,
 ) -> PartwiseSolution:
     """Definition 2.1's multicast variant: one message per part, to all members.
 
@@ -185,6 +197,7 @@ def solve_partwise_multicast(
         scheduler=scheduler,
         workers=workers,
         provider=provider,
+        latency_model=latency_model,
     )
     solution.values = {index: value[1] for index, value in solution.values.items()}
     return solution

@@ -146,45 +146,69 @@ def _cmd_lowerbound(args: argparse.Namespace) -> int:
 
 
 def _add_scheduler_arguments(parser: argparse.ArgumentParser) -> None:
+    from repro.congest.asynchronous import available_latency_models
+    from repro.congest.engine import available_schedulers
+
     parser.add_argument(
         "--scheduler", default="event",
-        help="simulator scheduler backend: event, dense, or sharded",
+        help="simulator scheduler backend: " + ", ".join(available_schedulers()),
     )
     parser.add_argument(
         "--workers", type=int, default=None,
         help="process count for the sharded scheduler (default: backend pick)",
     )
+    parser.add_argument(
+        "--latency-model", default=None, dest="latency_model",
+        help="per-edge latency model for --scheduler async: "
+        + ", ".join(available_latency_models())
+        + " (default: uniform = lockstep-equivalent)",
+    )
 
 
-def _validated_scheduler(args: argparse.Namespace) -> tuple[str, int | None]:
-    """Fail fast on a bad --scheduler/--workers combination."""
+def _validated_scheduler(
+    args: argparse.Namespace,
+) -> tuple[str, int | None, str | None]:
+    """Fail fast on a bad --scheduler/--workers/--latency-model combination."""
     from repro.congest.network import validate_scheduler
 
-    validate_scheduler(args.scheduler, SystemExit, workers=args.workers)
-    return args.scheduler, args.workers
+    validate_scheduler(
+        args.scheduler, SystemExit, workers=args.workers,
+        latency_model=args.latency_model,
+    )
+    return args.scheduler, args.workers, args.latency_model
 
 
 def _cmd_mst(args: argparse.Namespace) -> int:
     from repro.apps.mst import assign_random_weights, distributed_mst
 
-    scheduler, workers = _validated_scheduler(args)
+    scheduler, workers, latency_model = _validated_scheduler(args)
     graph = build_family(args)
     weights = assign_random_weights(graph, rng=args.seed)
     effective = args.provider or f"theorem31-{args.construction}"
     print(f"graph: {args.family}, n={graph.number_of_nodes()}, m={graph.number_of_edges()}")
     print(f"provider: {effective}, scheduler: {scheduler}"
-          + (f", workers: {workers}" if workers else ""))
+          + (f", workers: {workers}" if workers else "")
+          + (f", latency model: {latency_model}" if latency_model else ""))
     ours = distributed_mst(
         graph, weights, construction=args.construction, provider=args.provider,
         rng=args.seed, scheduler=scheduler, workers=workers,
+        latency_model=latency_model,
     )
     base = distributed_mst(
         graph, weights, shortcut_method="baseline", construction=args.construction,
         rng=args.seed, scheduler=scheduler, workers=workers,
+        latency_model=latency_model,
     )
     agree = ours.edges == base.edges
-    print(f"{effective}: {ours.stats.rounds} rounds, {ours.phases} phases")
-    print(f"baseline : {base.stats.rounds} rounds, {base.phases} phases")
+
+    def _cost(result) -> str:
+        line = f"{result.stats.rounds} rounds, {result.phases} phases"
+        if result.stats.virtual_time:
+            line += f", virtual time {result.stats.virtual_time}"
+        return line
+
+    print(f"{effective}: {_cost(ours)}")
+    print(f"baseline : {_cost(base)}")
     print(f"identical MSTs: {agree}, weight {ours.weight}")
     return 0 if agree else 1
 
@@ -195,7 +219,7 @@ def _cmd_certify(args: argparse.Namespace) -> int:
     from repro.graphs.partition import voronoi_partition
     from repro.graphs.trees import bfs_tree
 
-    scheduler, workers = _validated_scheduler(args)
+    scheduler, workers, latency_model = _validated_scheduler(args)
     graph = build_family(args)
     tree = bfs_tree(graph)
     num_parts = args.parts or max(2, graph.number_of_nodes() // 16)
@@ -236,10 +260,14 @@ def _cmd_certify(args: argparse.Namespace) -> int:
         final_delta = resolve_delta(graph)
     check = distributed_partial_shortcut(
         graph, partition, final_delta, rng=args.seed,
-        scheduler=scheduler, workers=workers,
+        scheduler=scheduler, workers=workers, latency_model=latency_model,
+    )
+    virtual = (
+        f", virtual time {check.stats.virtual_time}"
+        if check.stats.virtual_time else ""
     )
     print(f"distributed check ({scheduler}): delta={final_delta:.3f}, "
-          f"{check.stats.rounds} rounds, "
+          f"{check.stats.rounds} rounds{virtual}, "
           f"congestion {check.stats.max_congestion}, "
           f"satisfied {len(check.satisfied)}/{len(partition)}")
     return 0

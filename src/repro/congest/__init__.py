@@ -45,17 +45,23 @@ spontaneously on an empty inbox without latching keep-alive).
 Scheduler backends
 ------------------
 
-Scheduling is pluggable (:mod:`repro.congest.engine`): the shared message
-semantics (validation, bandwidth, staging, accounting) live in one
+Scheduling is pluggable (:mod:`repro.congest.engine` — backends register
+themselves with ``register_backend``): the shared message semantics
+(validation, bandwidth, staging, accounting) live in one
 ``MessageFabric``, and a ``SchedulerBackend`` supplies the activation
 strategy.  Besides ``"event"`` and ``"dense"``, ``scheduler="sharded"``
 (:mod:`repro.congest.sharded`) partitions the node set across ``workers``
 forked processes — BFS-contiguous shards, per-round batched cross-shard
 message exchange with a barrier, merged per-shard stats — so large
 instances use all cores while staying byte-identical to ``"event"`` for
-any worker count.  Per-node ``ctx.rng`` streams are derived from
-``(run_seed, node_index)``, making them invariant across backends and
-worker counts.
+any worker count.  ``scheduler="async"`` (:mod:`repro.congest.
+asynchronous`) drives activations on an asyncio event loop over a virtual
+clock with pluggable per-edge latencies: lockstep-equivalent under the
+default ``uniform`` model, latency-realistic (reporting
+``RoundStats.virtual_time`` and per-node completion times) under
+``seeded-jitter``/``degree-proportional``.  Per-node ``ctx.rng`` streams
+are derived from ``(run_seed, node_index)``, making them invariant across
+backends and worker counts.
 """
 
 from repro.congest.network import NodeContext, SyncNetwork

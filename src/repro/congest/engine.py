@@ -26,8 +26,13 @@ Two invariants make backend equivalence possible:
   graph's node order, so each inbox's insertion order (observable through
   dict iteration) is sender-index order under every backend.
 
-The in-process backends live here (``event``, ``dense``); the
-multi-process ``sharded`` backend lives in :mod:`repro.congest.sharded`.
+Backends register themselves here (:func:`register_backend`), mirroring
+the :mod:`repro.core.providers` registry: an unknown scheduler name fails
+with a message listing every registered backend, uniformly at every API
+boundary. The in-process backends live in this module (``event``,
+``dense``); the multi-process ``sharded`` backend lives in
+:mod:`repro.congest.sharded` and the latency-realistic asyncio backend in
+:mod:`repro.congest.asynchronous`.
 """
 
 from __future__ import annotations
@@ -45,7 +50,49 @@ __all__ = [
     "SchedulerBackend",
     "EventBackend",
     "DenseBackend",
+    "register_backend",
+    "get_backend",
+    "available_schedulers",
 ]
+
+# Scheduler-backend registry; backends self-register at import time (the
+# out-of-module backends when repro.congest.network imports them).
+_BACKENDS: dict[str, type["SchedulerBackend"]] = {}
+
+
+def register_backend(
+    backend: type["SchedulerBackend"], replace_existing: bool = False
+) -> None:
+    """Register a backend class under ``backend.name``.
+
+    Raises:
+        ValueError: when the name is taken and ``replace_existing`` is
+            False.
+    """
+    if backend.name in _BACKENDS and not replace_existing:
+        raise ValueError(f"scheduler backend {backend.name!r} is already registered")
+    _BACKENDS[backend.name] = backend
+
+
+def get_backend(name: str) -> type["SchedulerBackend"]:
+    """Look up a registered backend class by name.
+
+    Raises:
+        ValueError: unknown name (the message lists the registry, matching
+            the :mod:`repro.core.providers` error convention).
+    """
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; registered schedulers: "
+            f"{', '.join(available_schedulers())}"
+        ) from None
+
+
+def available_schedulers() -> tuple[str, ...]:
+    """Sorted names of all registered scheduler backends."""
+    return tuple(sorted(_BACKENDS))
 
 
 class NodeContext:
@@ -86,7 +133,10 @@ class MessageFabric:
     nodes *send*, which partitions the totals across shards).
     """
 
-    __slots__ = ("neighbor_sets", "bandwidth_bits", "enforce_bandwidth", "stats")
+    __slots__ = (
+        "neighbor_sets", "bandwidth_bits", "enforce_bandwidth", "stats",
+        "latencies",
+    )
 
     def __init__(
         self,
@@ -94,11 +144,15 @@ class MessageFabric:
         bandwidth_bits: int,
         enforce_bandwidth: bool,
         stats: RoundStats,
+        latencies: dict[tuple[int, int], int] | None = None,
     ):
         self.neighbor_sets = neighbor_sets
         self.bandwidth_bits = bandwidth_bits
         self.enforce_bandwidth = enforce_bandwidth
         self.stats = stats
+        # Per-directed-edge transit times in ticks (>= 1), or None for the
+        # lockstep backends (every message takes exactly one round).
+        self.latencies = latencies
 
     def validate(self, sender: int, target: int, payload: object) -> int:
         """Check adjacency and the bit budget; return the payload's bit size.
@@ -141,6 +195,38 @@ class MessageFabric:
                 active.add(target)
             inbox[sender] = payload
             stats.record_message(sender, target, bits, round_no)
+
+    def deliver_timed(
+        self,
+        sender: int,
+        sender_index: int,
+        outbox: dict[int, object],
+        arrivals: dict[int, dict[int, list]],
+        now: int,
+    ) -> list[int]:
+        """Validate ``sender``'s outbox and stage it into virtual-time buckets.
+
+        Each message sent at tick ``now`` arrives at ``now + latency(edge)``
+        (one tick per edge without a latency table). Staged entries are
+        ``(sender_index, sender, payload)`` tuples; the activating backend
+        sorts each inbox by sender index, reproducing the canonical
+        insertion order regardless of send times. Returns the arrival times
+        whose buckets this call created, so the caller can extend its wake
+        schedule.
+        """
+        stats = self.stats
+        latencies = self.latencies
+        new_times: list[int] = []
+        for target, payload in outbox.items():
+            bits = self.validate(sender, target, payload)
+            arrive = now + (latencies[(sender, target)] if latencies else 1)
+            bucket = arrivals.get(arrive)
+            if bucket is None:
+                bucket = arrivals[arrive] = {}
+                new_times.append(arrive)
+            bucket.setdefault(target, []).append((sender_index, sender, payload))
+            stats.record_message(sender, target, bits, now)
+        return new_times
 
 
 class SchedulerBackend:
@@ -291,3 +377,7 @@ class DenseBackend(_InProcessBackend):
                     fabric.deliver(v, outbox, inboxes, active, round_no)
                 if ctx._keep_alive:
                     active.add(v)
+
+
+register_backend(EventBackend)
+register_backend(DenseBackend)

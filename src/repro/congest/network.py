@@ -39,6 +39,13 @@ backend enforces them identically. Three backends are registered:
   router. Per-shard :class:`~repro.congest.stats.RoundStats` are merged
   (rounds max, counters sum) at the end. Pass ``workers=`` to pin the
   process count.
+* ``"async"`` — the latency-realistic asyncio backend
+  (:class:`~repro.congest.asynchronous.AsyncBackend`): node activations are
+  driven on an asyncio event loop over a virtual clock with pluggable
+  per-edge latencies (``latency_model=``). Under the default ``uniform``
+  model it is lockstep-equivalent (byte-identical to ``event``); under a
+  non-uniform model it reports the ``RoundStats`` wall-model dimension
+  (``virtual_time``, per-node ``completion_times``).
 
 The backend contract is strict: results, round counts, message counts,
 bits, and per-edge congestion must be byte-identical across backends for
@@ -62,7 +69,14 @@ import random
 
 import networkx as nx
 
-from repro.congest.engine import DenseBackend, EventBackend, NodeContext
+from repro.congest.asynchronous import AsyncBackend, resolve_latency_model
+from repro.congest.engine import (
+    DenseBackend,
+    EventBackend,
+    NodeContext,
+    available_schedulers,
+    get_backend,
+)
 from repro.congest.node import NodeAlgorithm
 from repro.congest.sharded import ShardedBackend
 from repro.congest.stats import RoundStats
@@ -83,35 +97,51 @@ __all__ = [
 # algorithm in this library, fits comfortably.
 BANDWIDTH_FACTOR = 8
 
-# Scheduler-backend registry; SCHEDULERS is the stable name tuple used in
-# error messages and argument validation.
+# Back-compat views of the engine registry (importing the backend modules
+# above is what populates it); SCHEDULERS is the stable name tuple used in
+# argument validation.
 BACKENDS = {
-    "event": EventBackend,
-    "dense": DenseBackend,
-    "sharded": ShardedBackend,
+    name: get_backend(name)
+    for name in (EventBackend.name, DenseBackend.name, ShardedBackend.name,
+                 AsyncBackend.name)
 }
-SCHEDULERS = tuple(BACKENDS)
+SCHEDULERS = tuple(available_schedulers())
 
 
 def validate_scheduler(
     scheduler: str,
     exc: type[Exception] = ValueError,
     workers: int | None = None,
+    latency_model: object = None,
 ) -> None:
-    """Raise ``exc`` if ``scheduler`` (or ``workers``) is invalid.
+    """Raise ``exc`` on an invalid ``scheduler``/``workers``/``latency_model``.
 
-    API boundaries that thread ``scheduler``/``workers`` arguments down to
-    :class:`SyncNetwork` call this upfront (typically with their own error
-    type) so a typo fails fast instead of deep inside — or, worse, being
-    silently ignored on a code path that never builds a network. ``workers``
-    may be ``None`` (backend default) or a positive process count.
+    API boundaries that thread ``scheduler``/``workers``/``latency_model``
+    arguments down to :class:`SyncNetwork` call this upfront (typically with
+    their own error type) so a typo fails fast instead of deep inside — or,
+    worse, being silently ignored on a code path that never builds a
+    network. ``workers`` may be ``None`` (backend default) or a positive
+    process count; ``latency_model`` (a registered name or a
+    :class:`~repro.congest.asynchronous.LatencyModel` instance) requires
+    ``scheduler="async"`` — the lockstep backends cannot honor per-edge
+    latencies, so accepting one there would silently drop it.
     """
-    if scheduler not in SCHEDULERS:
+    if scheduler not in available_schedulers():
+        # Mirrors get_backend()'s message (and the provider registry's):
+        # unknown names list the registry, uniformly at every boundary.
         raise exc(
-            f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}"
+            f"unknown scheduler {scheduler!r}; registered schedulers: "
+            f"{', '.join(available_schedulers())}"
         )
     if workers is not None and workers < 1:
         raise exc(f"workers must be a positive process count, got {workers}")
+    if latency_model is not None:
+        if scheduler != AsyncBackend.name:
+            raise exc(
+                f"latency_model requires scheduler='async'; "
+                f"the {scheduler!r} scheduler is lockstep and would ignore it"
+            )
+        resolve_latency_model(latency_model, exc)
 
 
 class SyncNetwork:
@@ -126,10 +156,17 @@ class SyncNetwork:
         rng: seed or generator; one value is drawn per run to derive every
             node's ``ctx.rng`` stream from ``(run_seed, node_index)``.
         scheduler: ``"event"`` (active-set, default), ``"dense"``
-            (lockstep reference), or ``"sharded"`` (multi-process); see the
-            module docstring.
+            (lockstep reference), ``"sharded"`` (multi-process), or
+            ``"async"`` (latency-realistic asyncio); see the module
+            docstring.
         workers: process count for the sharded backend (default:
             ``min(4, cpu count)``); ignored by the in-process backends.
+        latency_model: per-edge latency assignment for the async backend —
+            a registered name (``"uniform"``, ``"seeded-jitter"``,
+            ``"degree-proportional"``) or a
+            :class:`~repro.congest.asynchronous.LatencyModel` instance;
+            ``None`` means uniform (lockstep-equivalent). Rejected for the
+            lockstep schedulers.
 
     Adjacency, neighbor tuples, and the node index used for deterministic
     activation ordering are precomputed once per :meth:`run` (so graph
@@ -145,10 +182,11 @@ class SyncNetwork:
         rng: int | random.Random | None = None,
         scheduler: str = "event",
         workers: int | None = None,
+        latency_model: object = None,
     ):
         if graph.number_of_nodes() == 0:
             raise GraphStructureError("cannot build a network on an empty graph")
-        validate_scheduler(scheduler, workers=workers)
+        validate_scheduler(scheduler, workers=workers, latency_model=latency_model)
         self.graph = graph
         n = graph.number_of_nodes()
         if bandwidth_bits is None:
@@ -157,6 +195,7 @@ class SyncNetwork:
         self.enforce_bandwidth = enforce_bandwidth
         self.scheduler = scheduler
         self.workers = workers
+        self.latency_model = latency_model
         self._rng = ensure_rng(rng)
         self._build_tables()
 
@@ -203,5 +242,5 @@ class SyncNetwork:
         # One draw per run: every per-node stream derives from this value
         # and the node's index, independent of backend and worker count.
         run_seed = self._rng.randrange(2**62)
-        backend = BACKENDS[self.scheduler]()
+        backend = get_backend(self.scheduler)()
         return backend.execute(self, algorithms, run_seed, max_rounds, raise_on_timeout)

@@ -75,6 +75,7 @@ def distributed_bfs(
     rng: int | random.Random | None = None,
     scheduler: str = "event",
     workers: int | None = None,
+    latency_model: object = None,
 ) -> tuple[RootedTree, RoundStats]:
     """Build a BFS tree of ``graph`` from ``root`` in the CONGEST model.
 
@@ -88,7 +89,10 @@ def distributed_bfs(
     """
     if root not in graph:
         raise GraphStructureError(f"root {root} is not in the graph")
-    network = SyncNetwork(graph, rng=rng, scheduler=scheduler, workers=workers)
+    network = SyncNetwork(
+        graph, rng=rng, scheduler=scheduler, workers=workers,
+        latency_model=latency_model,
+    )
     algorithms = {v: BfsNode(v, v == root) for v in graph.nodes()}
     results, stats = network.run(algorithms)
     parent = {v: results[v]["parent"] for v in graph.nodes()}

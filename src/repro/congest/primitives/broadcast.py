@@ -69,9 +69,13 @@ def tree_broadcast(
     rng: int | random.Random | None = None,
     scheduler: str = "event",
     workers: int | None = None,
+    latency_model: object = None,
 ) -> tuple[dict[int, object], RoundStats]:
     """Send ``value`` from the tree root to every node (``depth`` rounds)."""
-    network = SyncNetwork(graph, rng=rng, scheduler=scheduler, workers=workers)
+    network = SyncNetwork(
+        graph, rng=rng, scheduler=scheduler, workers=workers,
+        latency_model=latency_model,
+    )
     algorithms = {v: _BroadcastNode(v, tree, value) for v in graph.nodes()}
     return network.run(algorithms)
 
@@ -125,13 +129,17 @@ def tree_aggregate(
     rng: int | random.Random | None = None,
     scheduler: str = "event",
     workers: int | None = None,
+    latency_model: object = None,
 ) -> tuple[object, RoundStats]:
     """Combine per-node ``values`` up the tree; the root's total is returned.
 
     ``combine`` must be associative and commutative and keep payloads within
     the bit budget (ints, small tuples).
     """
-    network = SyncNetwork(graph, rng=rng, scheduler=scheduler, workers=workers)
+    network = SyncNetwork(
+        graph, rng=rng, scheduler=scheduler, workers=workers,
+        latency_model=latency_model,
+    )
     algorithms = {
         v: _AggregateNode(v, tree, values[v], combine) for v in graph.nodes()
     }

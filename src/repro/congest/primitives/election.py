@@ -60,6 +60,7 @@ def elect_leader(
     rng: int | random.Random | None = None,
     scheduler: str = "event",
     workers: int | None = None,
+    latency_model: object = None,
 ) -> tuple[int, RoundStats]:
     """Elect the minimum-id node as leader; every node learns its id.
 
@@ -72,7 +73,10 @@ def elect_leader(
     """
     if graph.number_of_nodes() == 0:
         raise GraphStructureError("cannot elect a leader on an empty graph")
-    network = SyncNetwork(graph, rng=rng, scheduler=scheduler, workers=workers)
+    network = SyncNetwork(
+        graph, rng=rng, scheduler=scheduler, workers=workers,
+        latency_model=latency_model,
+    )
     algorithms = {v: ElectionNode(v) for v in graph.nodes()}
     results, stats = network.run(algorithms)
     leader = min(graph.nodes())

@@ -66,6 +66,7 @@ def pipelined_top_k(
     rng: int | random.Random | None = None,
     scheduler: str = "event",
     workers: int | None = None,
+    latency_model: object = None,
 ) -> tuple[tuple, RoundStats]:
     """Collect the k globally-smallest items at the tree root.
 
@@ -84,7 +85,10 @@ def pipelined_top_k(
     if k < 1:
         raise GraphStructureError(f"k must be positive, got {k}")
     horizon = tree.max_depth + k + 2
-    network = SyncNetwork(graph, rng=rng, scheduler=scheduler, workers=workers)
+    network = SyncNetwork(
+        graph, rng=rng, scheduler=scheduler, workers=workers,
+        latency_model=latency_model,
+    )
     algorithms = {
         v: TopKNode(v, tree, list(items.get(v, [])), k, horizon)
         for v in graph.nodes()

@@ -47,6 +47,7 @@ from repro.congest.engine import (
     MessageFabric,
     NodeContext,
     SchedulerBackend,
+    register_backend,
 )
 from repro.congest.stats import RoundStats
 from repro.util.errors import CongestViolation
@@ -86,6 +87,9 @@ class ShardedBackend(SchedulerBackend):
         return _run_sharded(
             net, algorithms, run_seed, max_rounds, raise_on_timeout, shards
         )
+
+
+register_backend(ShardedBackend)
 
 
 def _run_sharded(net, algorithms, run_seed, max_rounds, raise_on_timeout, shards):

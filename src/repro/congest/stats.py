@@ -29,6 +29,19 @@ class RoundStats:
         edge_messages: per-directed-edge message counts ``(u, v) -> count``,
             the *measured* congestion of the execution (see
             :attr:`max_congestion`).
+        virtual_time: the wall-model dimension — latency-weighted completion
+            time in ticks, reported by latency-realistic executions (the
+            ``async`` scheduler under a non-uniform
+            :class:`~repro.congest.asynchronous.LatencyModel`, and the
+            packet scheduler when given one). Lockstep backends leave it at
+            ``0``; under uniform unit latencies it equals :attr:`rounds`.
+            Sequential composition (:meth:`__add__`/:meth:`add_phase`) sums
+            it; parallel composition (:meth:`merge`) takes the max, exactly
+            like :attr:`rounds`.
+        completion_times: per-node last-activation virtual time, keyed by
+            node id — the per-node completion profile of a latency-realistic
+            run. Composition is key-wise max (a node is done when its last
+            constituent activation is done).
         phases: optional named breakdown (phase name -> RoundStats); the
             top-level numbers are always the totals.
     """
@@ -39,6 +52,8 @@ class RoundStats:
     activations: int = 0
     messages_by_round: dict[int, int] = field(default_factory=dict)
     edge_messages: dict[tuple[int, int], int] = field(default_factory=dict)
+    virtual_time: int = 0
+    completion_times: dict[int, int] = field(default_factory=dict)
     phases: dict[str, "RoundStats"] = field(default_factory=dict)
 
     @property
@@ -80,6 +95,10 @@ class RoundStats:
                 self.messages_by_round, other.messages_by_round
             ),
             edge_messages=_merge_counts(self.edge_messages, other.edge_messages),
+            virtual_time=self.virtual_time + other.virtual_time,
+            completion_times=_merge_max(
+                self.completion_times, other.completion_times
+            ),
             phases=phases,
         )
 
@@ -105,6 +124,10 @@ class RoundStats:
                 self.messages_by_round, other.messages_by_round
             ),
             edge_messages=_merge_counts(self.edge_messages, other.edge_messages),
+            virtual_time=max(self.virtual_time, other.virtual_time),
+            completion_times=_merge_max(
+                self.completion_times, other.completion_times
+            ),
             phases=phases,
         )
 
@@ -122,6 +145,8 @@ class RoundStats:
             activations=self.activations,
             messages_by_round=dict(self.messages_by_round),
             edge_messages=dict(self.edge_messages),
+            virtual_time=self.virtual_time,
+            completion_times=dict(self.completion_times),
             phases={name: stats.copy() for name, stats in self.phases.items()},
         )
 
@@ -142,10 +167,16 @@ class RoundStats:
             self.messages_by_round, stats.messages_by_round
         )
         self.edge_messages = _merge_counts(self.edge_messages, stats.edge_messages)
+        self.virtual_time += stats.virtual_time
+        self.completion_times = _merge_max(
+            self.completion_times, stats.completion_times
+        )
 
     def summary(self) -> str:
         """One-line human-readable summary."""
         parts = [f"rounds={self.rounds}", f"messages={self.messages}"]
+        if self.virtual_time:
+            parts.append(f"virtual_time={self.virtual_time}")
         if self.activations:
             parts.append(f"activations={self.activations}")
         if self.edge_messages:
@@ -163,4 +194,15 @@ def _merge_counts(left: dict, right: dict) -> dict:
     merged = dict(left)
     for key, count in right.items():
         merged[key] = merged.get(key, 0) + count
+    return merged
+
+
+def _merge_max(left: dict, right: dict) -> dict:
+    """Key-wise max of two counter dicts (per-node completion times)."""
+    if not right:
+        return dict(left)
+    merged = dict(left)
+    for key, value in right.items():
+        if key not in merged or value > merged[key]:
+            merged[key] = value
     return merged

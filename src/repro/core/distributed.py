@@ -174,6 +174,7 @@ def distributed_partial_shortcut(
     elect_root: bool = False,
     scheduler: str = "event",
     workers: int | None = None,
+    latency_model: object = None,
 ) -> DistributedShortcutResult:
     """Run the full Theorem 1.5 pipeline; all round counts are measured.
 
@@ -192,9 +193,16 @@ def distributed_partial_shortcut(
         elect_root: run a real distributed leader election for the root
             instead of assuming one (adds a measured ``O(D)``-round phase).
         scheduler: simulator scheduler for every phase (``"event"``,
-            ``"dense"``, or ``"sharded"``; see :mod:`repro.congest`).
+            ``"dense"``, ``"sharded"``, or ``"async"``; see
+            :mod:`repro.congest`).
         workers: process count for the sharded scheduler (``None`` =
             backend default).
+        latency_model: per-edge latency model for the async scheduler
+            (``None`` = uniform/lockstep-equivalent). Under a non-uniform
+            model the level-synchronized sweep interprets its round windows
+            as virtual-time windows — the marking degrades gracefully (and
+            deterministically) as links slow down, which is exactly the
+            latency-realism scenario this backend exists to measure.
 
     Raises:
         ShortcutError: if ``delta <= 0``, or if both ``root`` and
@@ -202,7 +210,9 @@ def distributed_partial_shortcut(
     """
     if delta <= 0:
         raise ShortcutError(f"delta must be positive, got {delta}")
-    validate_scheduler(scheduler, ShortcutError, workers=workers)
+    validate_scheduler(
+        scheduler, ShortcutError, workers=workers, latency_model=latency_model
+    )
     rng = ensure_rng(rng)
     stats = RoundStats()
     if elect_root:
@@ -211,7 +221,8 @@ def distributed_partial_shortcut(
         from repro.congest.primitives.election import elect_leader
 
         root, election_stats = elect_leader(
-            graph, rng=rng, scheduler=scheduler, workers=workers
+            graph, rng=rng, scheduler=scheduler, workers=workers,
+            latency_model=latency_model,
         )
         stats.add_phase("election", election_stats)
     elif root is None:
@@ -219,14 +230,16 @@ def distributed_partial_shortcut(
 
     # Phase 1: BFS tree.
     tree, bfs_stats = distributed_bfs(
-        graph, root, rng=rng, scheduler=scheduler, workers=workers
+        graph, root, rng=rng, scheduler=scheduler, workers=workers,
+        latency_model=latency_model,
     )
     stats.add_phase("bfs", bfs_stats)
 
     # Phase 2: depth convergecast + parameter broadcast.
     depth_values = {v: tree.depth_of(v) for v in graph.nodes()}
     depth_max, up_stats = tree_aggregate(
-        graph, tree, depth_values, max, rng=rng, scheduler=scheduler, workers=workers
+        graph, tree, depth_values, max, rng=rng, scheduler=scheduler,
+        workers=workers, latency_model=latency_model,
     )
     depth_max = max(depth_max, 1)
     n = graph.number_of_nodes()
@@ -248,13 +261,17 @@ def distributed_partial_shortcut(
     meta_stats = up_stats
     for scalar in (seed, congestion_budget, tau):
         _, down_stats = tree_broadcast(
-            graph, tree, scalar, rng=rng, scheduler=scheduler, workers=workers
+            graph, tree, scalar, rng=rng, scheduler=scheduler, workers=workers,
+            latency_model=latency_model,
         )
         meta_stats = meta_stats + down_stats
     stats.add_phase("meta", meta_stats)
 
     # Phase 3: the sampled upward sweep.
-    network = SyncNetwork(graph, rng=rng, scheduler=scheduler, workers=workers)
+    network = SyncNetwork(
+        graph, rng=rng, scheduler=scheduler, workers=workers,
+        latency_model=latency_model,
+    )
     algorithms = {
         v: SweepNode(
             node=v,
@@ -320,6 +337,7 @@ def distributed_partial_shortcut(
             {v: 1 for v in graph.nodes()},
             lambda a, b: a + b,
             rng=rng,
+            latency_model=latency_model,
         )
         stats.add_phase("verify", verification.stats)
     return result
@@ -357,6 +375,7 @@ def distributed_full_shortcut(
     rng: int | random.Random | None = None,
     scheduler: str = "event",
     workers: int | None = None,
+    latency_model: object = None,
     max_escalations: int = 40,
 ) -> DistributedFullShortcutResult:
     """Iterate Theorem 1.5 over unsatisfied parts until all are covered.
@@ -374,7 +393,7 @@ def distributed_full_shortcut(
             builds its own measured BFS tree); defaults to a memoized BFS
             tree in that edge case.
         rng: seed or generator (consumed by every iteration's pipeline).
-        scheduler, workers: simulator backend plumbing.
+        scheduler, workers, latency_model: simulator backend plumbing.
         max_escalations: cap on δ doublings.
 
     Raises:
@@ -397,7 +416,7 @@ def distributed_full_shortcut(
         sub = partition.restrict(graph, remaining)
         result = distributed_partial_shortcut(
             graph, sub, current_delta, rng=rng, run_verification=False,
-            scheduler=scheduler, workers=workers,
+            scheduler=scheduler, workers=workers, latency_model=latency_model,
         )
         iterations += 1
         total = total + result.stats

@@ -113,6 +113,9 @@ class ShortcutRequest:
         rng: seed or generator for randomized pipelines.
         scheduler: simulator scheduler backend for measured constructions.
         workers: process count for the sharded scheduler.
+        latency_model: per-edge latency model for the async scheduler
+            (name or :class:`~repro.congest.asynchronous.LatencyModel`
+            instance; ``None`` = uniform/lockstep-equivalent).
         options: provider-specific extras (e.g. ``order`` for ``greedy``,
             ``initial_delta`` for ``certifying``).
     """
@@ -127,6 +130,7 @@ class ShortcutRequest:
     rng: int | random.Random | None = None
     scheduler: str = "event"
     workers: int | None = None
+    latency_model: object = None
     options: dict = field(default_factory=dict)
 
     def provider_name(self) -> str:
@@ -396,7 +400,10 @@ def build_shortcut(request: ShortcutRequest) -> ShortcutOutcome:
             scheduler/workers, or any provider-specific failure.
     """
     provider = get_provider(request.provider_name())
-    validate_scheduler(request.scheduler, ShortcutError, workers=request.workers)
+    validate_scheduler(
+        request.scheduler, ShortcutError, workers=request.workers,
+        latency_model=request.latency_model,
+    )
     delta = resolve_delta(request.graph, request.delta) if provider.needs_delta else request.delta
     tree = request.tree
     if tree is None and provider.needs_tree:
@@ -558,6 +565,7 @@ class Theorem31SimulatedProvider(ShortcutProvider):
             rng=ensure_rng(request.rng),
             scheduler=request.scheduler,
             workers=request.workers,
+            latency_model=request.latency_model,
         )
         return ShortcutOutcome(
             shortcut=result.shortcut,

@@ -15,6 +15,15 @@ The measured completion round is the part-wise aggregation time ``T_PA``;
 with a quality-``Q`` shortcut it is ``O(Q log n)`` whp, which is exactly
 the paper's claim about the usefulness of shortcuts.
 
+With a :class:`~repro.congest.asynchronous.LatencyModel` the engine runs
+latency-realistically: a packet entering edge ``e`` at tick ``t`` (still
+one per directed edge per tick — the capacity constraint) is delivered at
+``t + latency(e) - 1``, and the result's :class:`RoundStats` reports the
+wall-model ``virtual_time`` dimension. Latencies are deterministic from a
+seed drawn once per run, so latency-mode executions replay byte-identically
+per seed; without a model the engine is byte-identical to its lockstep
+behavior (no extra rng draws).
+
 Faithfulness note (documented in DESIGN.md): the routing trees are planned
 centrally. A distributed plan costs one extra broadcast-shaped wave over
 ``C_i`` with identical congestion characteristics, so the asymptotics and
@@ -125,6 +134,7 @@ def partwise_aggregate(
     delay_mode: str = "random",
     max_rounds: int | None = None,
     queue_discipline: str = "fifo",
+    latency_model: object = None,
 ) -> PartwiseAggregationResult:
     """Simulate all parts aggregating simultaneously through the shortcut.
 
@@ -145,17 +155,33 @@ def partwise_aggregate(
             ``"fifo"`` (arrival order) or ``"random"`` (uniform among
             queued) — scheduling-theory ablation; the LMR bound holds for
             either.
+        latency_model: per-edge latency model (name or
+            :class:`~repro.congest.asynchronous.LatencyModel` instance) for
+            latency-realistic packet transit; ``None`` = one tick per edge
+            (the lockstep behavior, byte-identical to before).
 
     Returns:
         A :class:`PartwiseAggregationResult` with measured rounds.
 
     Raises:
         ShortcutError: on disconnected communication graphs, an unknown
-            ``delay_mode``, or an unknown ``queue_discipline``.
+            ``delay_mode``, ``queue_discipline``, or ``latency_model``.
     """
     if queue_discipline not in ("fifo", "random"):
         raise ShortcutError(f"unknown queue_discipline {queue_discipline!r}")
     rng = ensure_rng(rng)
+    latencies = None
+    if latency_model is not None:
+        from repro.congest.asynchronous import resolve_latency_model
+
+        model = resolve_latency_model(latency_model, ShortcutError)
+        # One draw per run, and only when the model is genuinely
+        # non-uniform: "uniform" must stay byte-identical to no model at
+        # all (rng stream included), so it must not consume the draw its
+        # build() would ignore anyway. Latencies derive from
+        # (run_seed, edge).
+        if not model.is_uniform:
+            latencies = model.build(graph, rng.randrange(2**62))
     plans = plan_routing_trees(graph, partition, shortcut)
 
     # Planned per-directed-edge load: each routing-tree edge carries exactly
@@ -178,6 +204,9 @@ def partwise_aggregate(
         max_rounds = int(
             8 * (max_load + (max_depth + 1) * (2 + math.log2(n))) + max(delays, default=0) + 64
         )
+        if latencies:
+            # Every hop may take up to the slowest transit time.
+            max_rounds *= max(latencies.values())
 
     # --- Per-part per-node execution state ---------------------------------
     pending: list[dict[int, int]] = []  # children still to report, per node
@@ -230,6 +259,7 @@ def partwise_aggregate(
             finished_nodes[plan.index] = 1
             completion[plan.index] = delays[plan.index]
 
+    in_flight: dict[int, list] = {}  # arrival tick -> [(edge, packet), ...]
     current_round = 0
     while len(completion) < len(plans) and current_round < max_rounds:
         # Fire freshly-due convergecast leaves.
@@ -237,25 +267,31 @@ def partwise_aggregate(
             plan = plans[part]
             enqueue(node, plan.parent[node], ("up", part, accumulator[part][node]))
         current_round += 1
-        # One packet per directed edge per round.
-        deliveries = []
+        # One packet may *enter* each directed edge per tick (the CONGEST
+        # capacity constraint); it is delivered after the edge's transit
+        # time (one tick without a latency model — the lockstep behavior).
         for edge, queue in queues.items():
             if not queue:
                 continue
             if queue_discipline == "random" and len(queue) > 1:
                 position = rng.randrange(len(queue))
                 queue[position], queue[0] = queue[0], queue[position]
-            deliveries.append((edge, queue.popleft()))
-        for (source, target), packet in deliveries:
+            packet = queue.popleft()
             # record_message also maintains the per-edge congestion counters,
             # so aggregations report *measured* congestion alongside the
-            # planned max_edge_load.  Delivery happens during round
+            # planned max_edge_load.  Transmission happens during round
             # ``current_round``; the send-round key convention of
             # RoundStats.messages_by_round (sent in r, delivered in r+1,
             # initial wave at 0) makes that ``current_round - 1``.
             stats.record_message(
-                source, target, _packet_bits(packet), current_round - 1
+                edge[0], edge[1], _packet_bits(packet), current_round - 1
             )
+            arrive = (
+                current_round if latencies is None
+                else current_round + latencies[edge] - 1
+            )
+            in_flight.setdefault(arrive, []).append((edge, packet))
+        for (source, target), packet in in_flight.pop(current_round, ()):
             kind, part, value = packet
             plan = plans[part]
             if kind == "up":
@@ -280,6 +316,10 @@ def partwise_aggregate(
     stats.rounds = max(completion.values(), default=0) if len(completion) == len(
         plans
     ) else current_round
+    if latencies is not None:
+        # Latency-realistic run: ticks are virtual time, the wall-model
+        # dimension round counts cannot express.
+        stats.virtual_time = stats.rounds
     incomplete = tuple(
         plan.index for plan in plans if plan.index not in completion
     )

@@ -221,6 +221,26 @@ class TestCacheReuse:
         )
         assert second.stats.rounds == first.stats.rounds - 1000
 
+    def test_cached_virtual_time_counters_are_isolated(self):
+        # Mirrors test_cached_stats_are_isolated_from_caller_mutation for
+        # the wall-model counters added with the async backend: scribbling
+        # on a returned outcome's virtual_time/completion_times must never
+        # reach the cache entry.
+        clear_shortcut_cache()
+        graph = grid_graph(6, 6)
+        partition = voronoi_partition(graph, 4, rng=8)
+        first = build_shortcut(
+            ShortcutRequest(graph=graph, partition=partition, provider="baseline")
+        )
+        first.stats.virtual_time += 500
+        first.stats.completion_times[0] = 123
+        second = build_shortcut(
+            ShortcutRequest(graph=graph, partition=partition, provider="baseline")
+        )
+        assert second.provenance.cache_hit
+        assert second.stats.virtual_time == first.stats.virtual_time - 500
+        assert 0 not in second.stats.completion_times
+
     def test_cached_provenance_is_isolated_from_caller_mutation(self):
         clear_shortcut_cache()
         graph = grid_graph(6, 6)

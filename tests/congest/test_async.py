@@ -1,0 +1,226 @@
+"""Tests for the asyncio latency-realistic scheduler backend.
+
+Three concerns:
+
+* lockstep-equivalent mode (uniform latencies) behaves exactly like the
+  event backend on the quiescence edge cases (keep-alive timers, timeouts,
+  mid-flight sampling) — the full primitive-suite equivalence lives in
+  ``test_scheduler.py``, which includes ``async`` in its backend matrix;
+* latency mode is deterministic per seed, reports the wall-model
+  ``RoundStats`` dimension (``virtual_time``, ``completion_times``), and
+  stretches completion beyond the round count when links are slow;
+* the latency-model registry fails on unknown names with the same
+  list-the-registry error convention as the scheduler and provider
+  registries, and non-async schedulers reject latency models instead of
+  silently ignoring them.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.congest import NodeAlgorithm, SyncNetwork
+from repro.congest.asynchronous import (
+    DegreeProportionalLatency,
+    SeededJitterLatency,
+    UniformLatency,
+    available_latency_models,
+    resolve_latency_model,
+)
+from repro.congest.primitives.bfs import distributed_bfs
+from repro.util.errors import CongestViolation, ShortcutError
+
+
+class _KeepAliveTimer(NodeAlgorithm):
+    def __init__(self, ticks):
+        self.ticks = ticks
+        self.wake_rounds = []
+
+    def on_start(self, ctx):
+        if self.ticks > 0:
+            ctx.keep_alive()
+        return {}
+
+    def on_round(self, ctx, inbox):
+        assert not inbox
+        self.wake_rounds.append(ctx.round)
+        if ctx.round < self.ticks:
+            ctx.keep_alive()
+        return {}
+
+
+class _Chatter(NodeAlgorithm):
+    def on_start(self, ctx):
+        return {neighbor: (1,) for neighbor in ctx.neighbors}
+
+    def on_round(self, ctx, inbox):
+        return {neighbor: (1,) for neighbor in ctx.neighbors}
+
+
+class _PingOnce(NodeAlgorithm):
+    def __init__(self, node):
+        self.node = node
+        self.heard = []
+
+    def on_start(self, ctx):
+        if self.node == 0:
+            return {neighbor: (7,) for neighbor in ctx.neighbors}
+        return {}
+
+    def on_round(self, ctx, inbox):
+        self.heard.append((ctx.round, dict(inbox)))
+        return {}
+
+    def result(self):
+        return tuple(self.heard)
+
+
+class TestLockstepEquivalentMode:
+    def test_keep_alive_timer_matches_event(self):
+        graph = nx.path_graph(3)
+        network = SyncNetwork(graph, scheduler="async")
+        algorithms = {v: _KeepAliveTimer(4 if v == 1 else 0) for v in graph}
+        _, stats = network.run(algorithms)
+        assert stats.rounds == 4
+        assert algorithms[1].wake_rounds == [1, 2, 3, 4]
+        assert algorithms[0].wake_rounds == []
+        assert stats.activations == 4
+        assert stats.messages == 0
+        # Uniform latencies: the virtual clock is the round counter.
+        assert stats.virtual_time == stats.rounds
+
+    def test_mid_flight_sampling_without_raise(self):
+        graph = nx.path_graph(4)
+        for scheduler in ("event", "async"):
+            network = SyncNetwork(graph, scheduler=scheduler)
+            _, stats = network.run(
+                {v: _Chatter() for v in graph}, max_rounds=7, raise_on_timeout=False
+            )
+            assert stats.rounds == 7
+            assert stats.messages == 6 * 8
+
+    def test_timeout_raises_like_event(self):
+        graph = nx.path_graph(4)
+        with pytest.raises(CongestViolation):
+            SyncNetwork(graph, scheduler="async").run(
+                {v: _Chatter() for v in graph}, max_rounds=5
+            )
+
+    def test_silent_network_does_no_work(self):
+        graph = nx.path_graph(3)
+
+        class Silent(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                return {}
+
+        _, stats = SyncNetwork(graph, scheduler="async").run(
+            {v: Silent() for v in graph}
+        )
+        assert stats.rounds == 0
+        assert stats.activations == 0
+        assert stats.virtual_time == 0
+
+    def test_completion_times_cover_activated_nodes(self):
+        graph = nx.star_graph(4)
+        network = SyncNetwork(graph, scheduler="async")
+        _, stats = network.run({v: _PingOnce(v) for v in graph})
+        # Only the leaves are ever activated (node 0 sends from on_start and
+        # never hears back).
+        assert set(stats.completion_times) == {1, 2, 3, 4}
+        assert all(t == 1 for t in stats.completion_times.values())
+
+
+class TestLatencyMode:
+    def test_deterministic_replay_per_seed(self):
+        graph = nx.lollipop_graph(6, 9)
+        runs = []
+        for _ in range(2):
+            tree, stats = distributed_bfs(
+                graph, 0, rng=7, scheduler="async", latency_model="seeded-jitter"
+            )
+            runs.append(({v: tree.parent_of(v) for v in tree.nodes()}, stats))
+        assert runs[0][0] == runs[1][0]
+        assert runs[0][1] == runs[1][1]
+        assert runs[0][1].virtual_time > 0
+
+    def test_jitter_stretches_virtual_time_beyond_lockstep(self):
+        graph = nx.path_graph(20)
+        _, lockstep = distributed_bfs(graph, 0, rng=5, scheduler="async")
+        _, jittered = distributed_bfs(
+            graph, 0, rng=5, scheduler="async",
+            latency_model=SeededJitterLatency(spread=8),
+        )
+        # Same message volume, but slow links stretch completion: virtual
+        # time strictly exceeds the lockstep round count on a 19-hop path.
+        assert jittered.messages == lockstep.messages
+        assert jittered.virtual_time > lockstep.rounds
+
+    def test_message_totals_invariant_under_latency(self):
+        graph = nx.star_graph(6)
+        for model in (None, "seeded-jitter", "degree-proportional"):
+            results, stats = SyncNetwork(
+                graph, rng=3, scheduler="async", latency_model=model
+            ).run({v: _PingOnce(v) for v in graph})
+            assert stats.messages == 6
+            assert sum(stats.messages_by_round.values()) == stats.messages
+            assert sum(stats.edge_messages.values()) == stats.messages
+
+    def test_degree_proportional_slows_hub_edges(self):
+        graph = nx.star_graph(8)
+        model = DegreeProportionalLatency(scale=4)
+        table = model.build(graph, run_seed=1)
+        # Every edge touches the degree-8 hub: latency 1 + (8 + 1) // 4.
+        assert all(latency == 3 for latency in table.values())
+
+    def test_jitter_is_symmetric_and_positive(self):
+        graph = nx.cycle_graph(12)
+        table = SeededJitterLatency(spread=5).build(graph, run_seed=9)
+        for (u, v), latency in table.items():
+            assert 1 <= latency <= 5
+            assert table[(v, u)] == latency
+
+
+class TestLatencyModelRegistry:
+    def test_uniform_is_default_and_tableless(self):
+        model = resolve_latency_model(None)
+        assert isinstance(model, UniformLatency)
+        assert model.build(nx.path_graph(3), run_seed=0) is None
+
+    def test_unknown_model_lists_registry(self):
+        with pytest.raises(ValueError) as info:
+            resolve_latency_model("bogus")
+        message = str(info.value)
+        for name in available_latency_models():
+            assert name in message
+
+    def test_custom_error_type(self):
+        with pytest.raises(ShortcutError):
+            resolve_latency_model("bogus", ShortcutError)
+
+    def test_unhashable_spec_raises_the_contracted_type(self):
+        # A non-string spec (a list, a class, ...) must fail with the
+        # caller's exception type, not leak a TypeError from the registry
+        # lookup.
+        with pytest.raises(ShortcutError):
+            resolve_latency_model(["seeded-jitter"], ShortcutError)
+
+    def test_instances_pass_through(self):
+        model = SeededJitterLatency(spread=3)
+        assert resolve_latency_model(model) is model
+
+    def test_lockstep_schedulers_reject_latency_models(self):
+        graph = nx.path_graph(3)
+        for scheduler in ("event", "dense", "sharded"):
+            with pytest.raises(ValueError) as info:
+                SyncNetwork(graph, scheduler=scheduler, latency_model="seeded-jitter")
+            assert "requires scheduler='async'" in str(info.value)
+
+    def test_unknown_scheduler_message_lists_registry(self):
+        from repro.congest.engine import available_schedulers
+
+        with pytest.raises(ValueError) as info:
+            SyncNetwork(nx.path_graph(2), scheduler="bogus")
+        message = str(info.value)
+        assert "registered schedulers" in message
+        for name in available_schedulers():
+            assert name in message
+        assert "async" in message

@@ -205,3 +205,53 @@ class TestRoundStats:
         )
         assert total.activations == 7
         assert total.edge_messages == {(0, 1): 4}
+
+    def test_addition_composes_virtual_time_sequentially(self):
+        # Sequential composition: virtual time adds (one phase after the
+        # other); per-node completion times take the key-wise max.
+        a = RoundStats(virtual_time=10, completion_times={0: 10, 1: 4})
+        b = RoundStats(virtual_time=7, completion_times={1: 7, 2: 3})
+        total = a + b
+        assert total.virtual_time == 17
+        assert total.completion_times == {0: 10, 1: 7, 2: 3}
+
+    def test_merge_composes_virtual_time_in_parallel(self):
+        # Parallel composition (the sharded-style merge): virtual time
+        # overlaps (max), like rounds; completion times are key-wise max
+        # and stay associative/commutative.
+        a = RoundStats(rounds=5, virtual_time=12, completion_times={0: 12})
+        b = RoundStats(rounds=3, virtual_time=20, completion_times={0: 9, 1: 20})
+        c = RoundStats(virtual_time=1, completion_times={2: 1})
+        merged = a.merge(b)
+        assert merged.virtual_time == 20
+        assert merged.completion_times == {0: 12, 1: 20}
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+        assert a.merge(b) == b.merge(a)
+
+    def test_add_phase_accumulates_virtual_time(self):
+        total = RoundStats()
+        total.add_phase(
+            "bfs", RoundStats(rounds=2, virtual_time=9, completion_times={0: 9})
+        )
+        total.add_phase(
+            "sweep", RoundStats(rounds=3, virtual_time=15, completion_times={0: 15, 1: 2})
+        )
+        assert total.virtual_time == 24
+        assert total.completion_times == {0: 15, 1: 2}
+
+    def test_copy_isolates_virtual_time_counters(self):
+        # A copy that shared the completion-times dict (or dropped the new
+        # counters) would corrupt cached accounting — the regression the
+        # provider cache's store/hit copies rely on.
+        original = RoundStats(
+            rounds=4, virtual_time=11, completion_times={0: 11, 1: 6},
+            phases={"p": RoundStats(virtual_time=5, completion_times={1: 5})},
+        )
+        clone = original.copy()
+        assert clone == original
+        clone.virtual_time += 100
+        clone.completion_times[0] = 999
+        clone.phases["p"].completion_times[1] = 999
+        assert original.virtual_time == 11
+        assert original.completion_times == {0: 11, 1: 6}
+        assert original.phases["p"].completion_times == {1: 5}

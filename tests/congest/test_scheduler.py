@@ -174,8 +174,10 @@ def _parents(tree):
 
 
 # Every backend must match the dense reference byte for byte; the sharded
-# backend runs with 2 worker processes to exercise real cross-shard traffic.
-BACKENDS = [("dense", None), ("event", None), ("sharded", 2)]
+# backend runs with 2 worker processes to exercise real cross-shard traffic,
+# and the async backend runs in its lockstep-equivalent (uniform-latency)
+# mode.
+BACKENDS = [("dense", None), ("event", None), ("sharded", 2), ("async", None)]
 
 
 class TestSchedulerEquivalence:
@@ -227,7 +229,9 @@ class TestSchedulerEquivalence:
             outcomes[scheduler] = (
                 values, total, _equiv_stats(b_stats), _equiv_stats(a_stats)
             )
-        assert outcomes["dense"] == outcomes["event"] == outcomes["sharded"]
+        reference = outcomes["dense"]
+        for scheduler, outcome in outcomes.items():
+            assert outcome == reference, scheduler
 
     @pytest.mark.parametrize("name", sorted(GRAPHS))
     def test_pipelined_top_k_equivalent(self, name):

@@ -32,6 +32,73 @@ class TestPlanning:
             plan_routing_trees(small_grid, partition, shortcut)
 
 
+class TestLatencyRealisticAggregation:
+    def _instance(self, small_grid):
+        partition = voronoi_partition(small_grid, 4, rng=1)
+        tree = bfs_tree(small_grid)
+        shortcut = build_full_shortcut(small_grid, tree, partition, delta=3.0).shortcut
+        values = {v: 1 for v in small_grid.nodes()}
+        return partition, shortcut, values
+
+    def test_latency_mode_preserves_aggregates_and_reports_virtual_time(
+        self, small_grid
+    ):
+        partition, shortcut, values = self._instance(small_grid)
+        lockstep = partwise_aggregate(
+            small_grid, partition, shortcut, values, lambda a, b: a + b, rng=2,
+        )
+        latent = partwise_aggregate(
+            small_grid, partition, shortcut, values, lambda a, b: a + b, rng=2,
+            latency_model="seeded-jitter",
+        )
+        assert not latent.incomplete
+        assert latent.values == lockstep.values
+        assert lockstep.stats.virtual_time == 0
+        # Jittered links (latency 1..8) can only stretch completion.
+        assert latent.stats.virtual_time == latent.stats.rounds
+        assert latent.stats.virtual_time >= lockstep.stats.rounds
+        assert latent.stats.messages == lockstep.stats.messages
+
+    def test_uniform_model_is_byte_identical_to_no_model(self, small_grid):
+        # "uniform" is documented as lockstep-equivalent: it must not even
+        # consume the latency run-seed draw, so results, stats, and the
+        # downstream rng stream match latency_model=None exactly.
+        partition, shortcut, values = self._instance(small_grid)
+        import random
+
+        outcomes = []
+        for model in (None, "uniform"):
+            rng = random.Random(6)
+            result = partwise_aggregate(
+                small_grid, partition, shortcut, values, min, rng=rng,
+                latency_model=model,
+            )
+            outcomes.append((result.values, result.stats, rng.random()))
+        assert outcomes[0] == outcomes[1]
+
+    def test_latency_mode_replays_per_seed(self, small_grid):
+        partition, shortcut, values = self._instance(small_grid)
+        runs = [
+            partwise_aggregate(
+                small_grid, partition, shortcut, values, min, rng=9,
+                latency_model="seeded-jitter",
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].values == runs[1].values
+        assert runs[0].stats == runs[1].stats
+        assert runs[0].completion_rounds == runs[1].completion_rounds
+
+    def test_unknown_latency_model_raises_shortcut_error(self, small_grid):
+        partition, shortcut, values = self._instance(small_grid)
+        with pytest.raises(ShortcutError) as info:
+            partwise_aggregate(
+                small_grid, partition, shortcut, values, min, rng=1,
+                latency_model="bogus",
+            )
+        assert "registered latency models" in str(info.value)
+
+
 class TestAggregationCorrectness:
     def test_sum_per_part(self, small_grid):
         partition = voronoi_partition(small_grid, 4, rng=1)

@@ -71,6 +71,26 @@ class TestMst:
         assert "scheduler: sharded, workers: 2" in out
         assert "identical MSTs: True" in out
 
+    def test_async_scheduler_with_latency_model_reports_virtual_time(self, capsys):
+        code = main(["mst", "--family", "wheel", "--n", "65", "--seed", "3",
+                     "--scheduler", "async", "--latency-model", "seeded-jitter"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scheduler: async" in out
+        assert "latency model: seeded-jitter" in out
+        assert "virtual time" in out
+        assert "identical MSTs: True" in out
+
+    def test_latency_model_requires_async_scheduler(self):
+        with pytest.raises(SystemExit):
+            main(["mst", "--family", "grid", "--width", "4", "--height", "4",
+                  "--scheduler", "event", "--latency-model", "seeded-jitter"])
+
+    def test_unknown_latency_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["mst", "--family", "grid", "--width", "4", "--height", "4",
+                  "--scheduler", "async", "--latency-model", "bogus"])
+
     def test_unknown_scheduler_rejected(self):
         with pytest.raises(SystemExit):
             main(["mst", "--family", "ktree", "--n", "32", "--k", "2",
