@@ -31,7 +31,11 @@ Usage::
   benchmark must shrink the trajectory explicitly via ``--update``, never
   silently;
 * a missing baseline *file* fails — an uploaded artifact without a
-  committed trajectory is exactly the gap this gate exists to close.
+  committed trajectory is exactly the gap this gate exists to close;
+* every input/baseline problem — a missing or unreadable input file, a
+  baseline that is not valid JSON or lacks the ``calibration``/``times``
+  schema keys — fails the same way: a clear message naming the file and
+  the fix, and a nonzero exit, never a raw traceback.
 
 ``REPRO_BENCH_GATE_THRESHOLD`` overrides ``--threshold``.
 """
@@ -74,12 +78,30 @@ def load_times(path: pathlib.Path) -> dict[str, float]:
     The *min* round time, not the mean: shared-runner noise only ever adds
     wall-clock, so the minimum over rounds is the statistic that transfers
     between runs.
+
+    Raises:
+        SystemExit: missing/unreadable/empty input — with a message naming
+            the file, never a raw traceback.
     """
-    data = json.loads(path.read_text())
-    times = {
-        bench["name"]: float(bench["stats"]["min"])
-        for bench in data.get("benchmarks", [])
-    }
+    try:
+        data = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SystemExit(
+            f"{path}: input file not found (did the benchmark job produce "
+            f"its --benchmark-json artifact?)"
+        ) from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"{path}: cannot read benchmark JSON: {exc}") from None
+    try:
+        times = {
+            bench["name"]: float(bench["stats"]["min"])
+            for bench in data.get("benchmarks", [])
+        }
+    except (AttributeError, KeyError, TypeError, ValueError) as exc:
+        # AttributeError covers a top-level non-object (e.g. a bare array).
+        raise SystemExit(
+            f"{path}: not a pytest-benchmark JSON file ({exc!r})"
+        ) from None
     if not times:
         raise SystemExit(f"{path}: no benchmarks in file")
     return times
@@ -114,11 +136,36 @@ def compare(
                 f"(seed it: python benchmarks/compare_bench.py --update {path})"
             )
             continue
-        baseline = json.loads(baseline_path.read_text())
-        scale = calibration / baseline["calibration"]
+        try:
+            baseline = json.loads(baseline_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            failures.append(
+                f"{path.name}: baseline {baseline_path} is unreadable "
+                f"({exc}); re-seed it with --update"
+            )
+            continue
+        # Schema-checked access: a hand-edited or truncated baseline must
+        # fail the gate with a pointer to --update, not a KeyError.
+        reference_calibration = (
+            baseline.get("calibration") if isinstance(baseline, dict) else None
+        )
+        baseline_times = baseline.get("times") if isinstance(baseline, dict) else None
+        if (
+            not isinstance(reference_calibration, (int, float))
+            or isinstance(reference_calibration, bool)
+            or reference_calibration <= 0  # 0 would divide-by-zero below
+            or not isinstance(baseline_times, dict)
+        ):
+            failures.append(
+                f"{path.name}: baseline {baseline_path} lacks the "
+                f"'calibration'/'times' schema (schema {SCHEMA}); re-seed "
+                f"it with --update"
+            )
+            continue
+        scale = calibration / reference_calibration
         times = load_times(path)
         for name, observed in sorted(times.items()):
-            reference = baseline["times"].get(name)
+            reference = baseline_times.get(name)
             if reference is None:
                 print(f"  NEW  {name}: {observed * 1e3:.1f} ms (not in baseline yet)")
                 continue
@@ -138,7 +185,7 @@ def compare(
         # The inverse of the missing-baseline rule: a benchmark that
         # vanishes from the suite must not silently shrink the gated
         # trajectory — rename/removal goes through --update in the same PR.
-        for name in sorted(set(baseline["times"]) - set(times)):
+        for name in sorted(set(baseline_times) - set(times)):
             failures.append(
                 f"{path.name}:{name}: in the committed baseline but missing "
                 f"from the run (renamed/removed? re-seed with --update)"

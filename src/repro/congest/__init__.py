@@ -17,12 +17,16 @@ from the previous round — are activated, via
 :meth:`~repro.congest.node.NodeAlgorithm.on_wake` (which delegates to
 ``on_round`` unless overridden).  The contract is unchanged from lockstep:
 
-* a node that neither receives nor latched ``ctx.keep_alive()`` is passive
-  and observes nothing — it is simply not called, which is
-  indistinguishable from an empty-inbox ``on_round`` for any conforming
-  algorithm;
-* quiescence is an empty active set (no messages in flight, no latches),
-  the same condition as lockstep's "every node passive in the same round";
+* a node that neither receives, nor latched ``ctx.keep_alive()``, nor has
+  a due ``ctx.schedule_wake()`` timer is passive and observes nothing — it
+  is simply not called, which is indistinguishable from an empty-inbox
+  ``on_round`` for any conforming algorithm;
+* quiescence is an empty active set (no messages in flight, no latches,
+  no pending timers), the same condition as lockstep's "every node passive
+  in the same round"; when only timers remain, the clock fast-forwards to
+  the earliest one — scheduled wakes are how the ack-driven algorithms
+  (the Theorem 1.5 sweep, pipelined top-k) pace their streams without
+  keep-alive polling;
 * rounds are still globally synchronous — activation order within a round
   follows the graph's node order, so inbox insertion order (and therefore
   every observable behavior, round count, and message count) is

@@ -8,7 +8,13 @@ networks where a message's transit time depends on the link it crosses
 families). This backend executes :class:`~repro.congest.node.NodeAlgorithm`
 instances on an asyncio event loop over a *virtual clock*: a message sent
 on edge ``e`` at tick ``t`` is delivered at ``t + latency(e)``, where the
-per-edge latency comes from a pluggable :class:`LatencyModel`.
+per-edge latency comes from a pluggable :class:`LatencyModel`. This is the
+one delivery convention shared by every latency-aware engine in the
+codebase — the packet scheduler (:mod:`repro.sched.partwise`) uses the
+same ``send tick + latency(e)`` rule — and ``latency(e) = 1`` reproduces
+the lockstep sent-in-``r``, delivered-in-``r + 1`` schedule exactly (the
+test suite pins a forced all-ones latency table byte-identical to running
+with no model at all, in both engines).
 
 Two regimes, one code path:
 
@@ -258,10 +264,14 @@ class AsyncBackend(SchedulerBackend):
             for i, v in enumerate(nodes)
         }
         # arrivals[t][target] -> [(sender_index, sender, payload), ...];
-        # latched[t] -> nodes whose keep-alive latch wakes them at t. The
-        # heap holds every tick with a bucket in either map, exactly once.
+        # latched[t] -> nodes whose keep-alive latch wakes them at t;
+        # timers[t] -> nodes whose schedule_wake timer is armed for t
+        # (validated lazily against ctx._wake_at at fire time — re-arming
+        # to an earlier tick leaves a stale entry behind). The heap holds
+        # every tick with a bucket in any map, exactly once.
         arrivals: dict[int, dict[int, list]] = {}
         latched: dict[int, list[int]] = {}
+        timers: dict[int, set[int]] = {}
         schedule: list[int] = []
         scheduled: set[int] = set()
 
@@ -270,10 +280,18 @@ class AsyncBackend(SchedulerBackend):
                 scheduled.add(tick)
                 heapq.heappush(schedule, tick)
 
+        def arm_timer(v: int, ctx) -> None:
+            wake = ctx._wake_at
+            if wake is not None:
+                timers.setdefault(wake, set()).add(v)
+                wake_at(wake)
+
         async def activate(v: int, now: int, entries: list | None) -> None:
             ctx = contexts[v]
             ctx.round = now
             ctx._keep_alive = False
+            if ctx._wake_at is not None and ctx._wake_at <= now:
+                ctx._wake_at = None  # the timer fires with this wake
             if entries:
                 # Sender-index order: canonical inbox insertion order, no
                 # matter when each message was sent.
@@ -293,6 +311,7 @@ class AsyncBackend(SchedulerBackend):
                     bucket = latched[now + 1] = []
                 bucket.append(v)
                 wake_at(now + 1)
+            arm_timer(v, ctx)
 
         # Tick 0: on_start on every node, by definition.
         for v in nodes:
@@ -304,22 +323,36 @@ class AsyncBackend(SchedulerBackend):
             if ctx._keep_alive:
                 latched.setdefault(1, []).append(v)
                 wake_at(1)
+            arm_timer(v, ctx)
 
         while schedule:
             now = heapq.heappop(schedule)
             scheduled.discard(now)
+            bucket = arrivals.pop(now, None) or {}
+            latch_bucket = latched.pop(now, None) or ()
+            due = [
+                v for v in timers.pop(now, ())
+                if contexts[v]._wake_at == now
+            ]
+            current = sorted(
+                bucket.keys() | set(latch_bucket) | set(due),
+                key=index.__getitem__,
+            )
+            if not current:
+                # Every entry at this tick went stale (timers re-armed
+                # earlier); it is not a round.
+                continue
             if now > max_rounds:
                 # Work remains past the clock bound — the virtual-time
-                # analogue of the lockstep timeout (identical behavior under
-                # uniform latencies).
+                # analogue of the lockstep timeout. stats.rounds reports
+                # the bound itself, matching the lockstep loops (which
+                # execute the empty rounds a virtual clock skips).
                 if raise_on_timeout:
                     raise CongestViolation(
                         f"execution did not quiesce within {max_rounds} rounds"
                     )
+                stats.rounds = max_rounds
                 break
-            bucket = arrivals.pop(now, None) or {}
-            latch_bucket = latched.pop(now, None) or ()
-            current = sorted(bucket.keys() | set(latch_bucket), key=index.__getitem__)
             stats.rounds = now
             await asyncio.gather(
                 *(activate(v, now, bucket.get(v)) for v in current)

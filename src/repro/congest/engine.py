@@ -37,6 +37,7 @@ boundary. The in-process backends live in this module (``event``,
 
 from __future__ import annotations
 
+import heapq
 import random
 
 from repro.congest.stats import RoundStats
@@ -96,9 +97,12 @@ def available_schedulers() -> tuple[str, ...]:
 
 
 class NodeContext:
-    """Read-only view of a node's environment plus the keep-alive latch."""
+    """Read-only view of a node's environment plus the wake-up controls."""
 
-    __slots__ = ("node", "neighbors", "round", "num_nodes", "rng", "_keep_alive")
+    __slots__ = (
+        "node", "neighbors", "round", "num_nodes", "rng", "_keep_alive",
+        "_wake_at",
+    )
 
     def __init__(
         self,
@@ -113,16 +117,49 @@ class NodeContext:
         self.num_nodes = num_nodes
         self.rng = rng
         self._keep_alive = False
+        self._wake_at: int | None = None
 
     def keep_alive(self) -> None:
         """Prevent quiescence this round even without sending a message.
 
-        Needed by algorithms with internal timers (e.g. level-synchronized
-        phases) that must be woken again although the network is silent.
-        Under the event-driven and sharded schedulers this is also the only
-        way for a silent node to be activated next round.
+        Needed by algorithms that poll (be woken *every* round although the
+        network is silent). Under the event-driven and sharded schedulers
+        this is one of the two ways for a silent node to be activated next
+        round; :meth:`schedule_wake` is the other — prefer it, so deep idle
+        stretches cost no activations on the timer-native backends.
         """
         self._keep_alive = True
+
+    def schedule_wake(self, delay: int = 1) -> None:
+        """Request a wake-up ``delay`` rounds (virtual ticks) from now.
+
+        The timer-native backends (``event``, ``async``) activate the node
+        at exactly ``round + delay`` — no polling in between. The remaining
+        lockstep backends (``dense``, ``sharded``) *degrade the timer to
+        keep-alive*: the node stays schedulable (and, on ``sharded``, is
+        woken with an empty inbox) every round until the wake round, so a
+        conforming algorithm must treat a wake before its deadline as a
+        no-op (no sends, no state changes, no ``ctx.rng`` draws) — with
+        ``delay=1``, the common stream-pacing case, there is no early round
+        to observe and the backends are trivially byte-identical.
+
+        A pending timer persists across message-triggered activations and
+        is cleared when it fires; calling again takes the *earlier* of the
+        pending and requested wake rounds (timers cannot be pushed back or
+        cancelled — a spurious fire on an algorithm that no longer cares is
+        a no-op by the contract above).
+
+        Raises:
+            CongestViolation: if ``delay < 1`` (a same-round wake would
+                break the round abstraction).
+        """
+        if delay < 1:
+            raise CongestViolation(
+                f"schedule_wake delay must be >= 1 round, got {delay}"
+            )
+        wake = self.round + delay
+        if self._wake_at is None or wake < self._wake_at:
+            self._wake_at = wake
 
 
 class MessageFabric:
@@ -296,10 +333,15 @@ class _InProcessBackend(SchedulerBackend):
 class EventBackend(_InProcessBackend):
     """The event-driven *active-set* scheduler (default).
 
-    Per round, only nodes with a non-empty inbox or a raised keep-alive
-    latch are activated (via ``on_wake``); quiescence falls out of an empty
-    active set. Total activations are ``O(total messages + keep-alives)``
-    instead of the lockstep ``O(n * rounds)``.
+    Per round, only nodes with a non-empty inbox, a raised keep-alive
+    latch, or a due :meth:`NodeContext.schedule_wake` timer are activated
+    (via ``on_wake``); quiescence falls out of an empty active set and an
+    empty timer wheel. Total activations are ``O(total messages +
+    keep-alives + timer fires)`` instead of the lockstep ``O(n * rounds)``.
+    When only timers remain, the clock fast-forwards to the earliest one —
+    the skipped rounds are empty under every backend, so round counts,
+    messages, and results stay byte-identical to ``dense``; only
+    activations differ.
     """
 
     name = "event"
@@ -309,27 +351,70 @@ class EventBackend(_InProcessBackend):
         max_rounds, raise_on_timeout,
     ) -> None:
         sort_key = net._index.__getitem__
+        # Timer wheel: wake round -> nodes armed for it, plus a heap of the
+        # bucketed rounds. Entries are validated lazily at fire time
+        # against ctx._wake_at (re-arming to an earlier round leaves a
+        # stale entry behind; an early fire cleared the context already).
+        timers: dict[int, set] = {}
+        timer_heap: list[int] = []
+
+        def arm(v, ctx) -> None:
+            wake = ctx._wake_at
+            if wake is not None:
+                bucket = timers.get(wake)
+                if bucket is None:
+                    bucket = timers[wake] = set()
+                    heapq.heappush(timer_heap, wake)
+                bucket.add(v)
+
+        for v, ctx in contexts.items():  # timers armed during on_start
+            arm(v, ctx)
         round_no = 0
-        while active:
-            if round_no >= max_rounds:
+        while True:
+            # Drop timer buckets whose every entry went stale, so both the
+            # quiescence check and the fast-forward target see live wakes.
+            while timer_heap:
+                tick = timer_heap[0]
+                bucket = timers.get(tick)
+                if bucket and any(contexts[v]._wake_at == tick for v in bucket):
+                    break
+                timers.pop(tick, None)
+                heapq.heappop(timer_heap)
+            if not active and not timer_heap:
+                break
+            # Messages and keep-alive latches wake next round; with nothing
+            # else pending the clock fast-forwards to the earliest timer.
+            next_round = round_no + 1 if active else timer_heap[0]
+            if next_round > max_rounds:
+                # Work remains past the bound. stats.rounds reports the
+                # bound itself, matching the dense loop (which executes the
+                # empty rounds a fast-forward skips).
                 if raise_on_timeout:
                     raise CongestViolation(
                         f"execution did not quiesce within {max_rounds} rounds"
                     )
+                stats.rounds = max_rounds
                 break
-            round_no += 1
+            round_no = next_round
             stats.rounds = round_no
-            # Activation order follows the graph's node order so inbox
-            # insertion order — observable by algorithms — matches the
-            # dense scheduler byte for byte.
-            current = sorted(active, key=sort_key)
+            current = set(active)
+            while timer_heap and timer_heap[0] == round_no:
+                heapq.heappop(timer_heap)
+            for v in timers.pop(round_no, ()):
+                if contexts[v]._wake_at == round_no:
+                    current.add(v)
             current_inboxes = inboxes
             inboxes = {}
             active = set()
-            for v in current:
+            # Activation order follows the graph's node order so inbox
+            # insertion order — observable by algorithms — matches the
+            # dense scheduler byte for byte.
+            for v in sorted(current, key=sort_key):
                 ctx = contexts[v]
                 ctx.round = round_no
                 ctx._keep_alive = False
+                if ctx._wake_at is not None and ctx._wake_at <= round_no:
+                    ctx._wake_at = None  # the timer fires with this wake
                 inbox = current_inboxes.get(v) or {}
                 outbox = algorithms[v].on_wake(ctx, inbox) or {}
                 stats.activations += 1
@@ -337,6 +422,7 @@ class EventBackend(_InProcessBackend):
                     fabric.deliver(v, outbox, inboxes, active, round_no)
                 if ctx._keep_alive:
                     active.add(v)
+                arm(v, ctx)
 
 
 class DenseBackend(_InProcessBackend):
@@ -344,7 +430,11 @@ class DenseBackend(_InProcessBackend):
 
     Kept as the reference semantics for equivalence testing and for exotic
     algorithms that act spontaneously on empty inboxes without latching
-    keep-alive (none in this library).
+    keep-alive (none in this library). Scheduled wakes degrade to
+    keep-alive here: a pending timer keeps the run going (every node is
+    executed every round anyway), and the node's early rounds are the
+    empty-inbox no-ops the :meth:`NodeContext.schedule_wake` contract
+    requires of conforming algorithms.
     """
 
     name = "dense"
@@ -354,6 +444,7 @@ class DenseBackend(_InProcessBackend):
         max_rounds, raise_on_timeout,
     ) -> None:
         nodes = net._nodes
+        active |= {v for v in nodes if contexts[v]._wake_at is not None}
         round_no = 0
         while active:
             if round_no >= max_rounds:
@@ -371,11 +462,13 @@ class DenseBackend(_InProcessBackend):
                 ctx = contexts[v]
                 ctx.round = round_no
                 ctx._keep_alive = False
+                if ctx._wake_at is not None and ctx._wake_at <= round_no:
+                    ctx._wake_at = None  # the timer fires with this round
                 outbox = algorithms[v].on_round(ctx, current_inboxes.get(v) or {}) or {}
                 stats.activations += 1
                 if outbox:
                     fabric.deliver(v, outbox, inboxes, active, round_no)
-                if ctx._keep_alive:
+                if ctx._keep_alive or ctx._wake_at is not None:
                     active.add(v)
 
 

@@ -22,14 +22,19 @@ backend enforces them identically. Three backends are registered:
 
 * ``"event"`` (default) — the event-driven *active-set* scheduler
   (:class:`~repro.congest.engine.EventBackend`). Per round, only nodes
-  with a non-empty inbox or a raised keep-alive latch are activated (via
+  with a non-empty inbox, a raised keep-alive latch, or a due
+  ``ctx.schedule_wake`` timer are activated (via
   :meth:`~repro.congest.node.NodeAlgorithm.on_wake`, which defaults to
-  ``on_round``); quiescence falls out of an empty active set. Total node
-  activations are ``O(total messages + keep-alives)`` instead of
-  ``O(n * rounds)``.
+  ``on_round``); quiescence falls out of an empty active set and timer
+  wheel, and the clock fast-forwards over all-idle rounds. Total node
+  activations are ``O(total messages + keep-alives + timer fires)``
+  instead of ``O(n * rounds)``.
 * ``"dense"`` — the seed lockstep loop
   (:class:`~repro.congest.engine.DenseBackend`): ``on_round`` on every node
-  every round. The reference semantics for equivalence testing.
+  every round. The reference semantics for equivalence testing. Scheduled
+  wakes degrade to keep-alive on this backend and on ``"sharded"`` — see
+  :meth:`~repro.congest.engine.NodeContext.schedule_wake` for the
+  conformance contract that keeps results byte-identical anyway.
 * ``"sharded"`` — the multi-process backend
   (:class:`~repro.congest.sharded.ShardedBackend`): nodes are partitioned
   into BFS-contiguous shards (one per worker process, see

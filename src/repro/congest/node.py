@@ -18,9 +18,22 @@ class NodeAlgorithm:
     previous round); the return value is the outbox: a mapping from
     neighbor ids to payloads (at most one per neighbor — the CONGEST rule).
 
-    A node that returns an empty outbox and does not call
-    ``ctx.keep_alive()`` is considered passive; the network stops when every
-    node is passive in the same round (quiescence).
+    A node that returns an empty outbox, does not call
+    ``ctx.keep_alive()``, and has no pending ``ctx.schedule_wake()`` timer
+    is considered passive; the network stops when every node is passive in
+    the same round (quiescence).
+
+    Two wake-up controls exist for silent nodes. ``ctx.keep_alive()``
+    requests activation *next* round (polling); ``ctx.schedule_wake(d)``
+    requests activation ``d`` rounds out. On the timer-native backends
+    (``event``, ``async``) a scheduled wake costs exactly one activation at
+    the wake round; on the degrade backends (``dense``, ``sharded``) the
+    node may be woken with an empty inbox on every round up to it, so a
+    conforming algorithm treats any wake before its own readiness condition
+    as a no-op (no sends, no state changes, no ``ctx.rng`` draws). Ack-
+    driven algorithms (the sweep in :mod:`repro.core.distributed`, the
+    top-k pipeline) only ever use ``schedule_wake(1)`` to pace a stream of
+    sends, for which the two behaviors coincide.
 
     Under the event-driven scheduler (the default, see
     :mod:`repro.congest.network`), a passive node with an empty inbox is

@@ -222,14 +222,18 @@ def _worker_main(conn, shard_id, my_nodes, shard_of, net, algorithms, run_seed):
                         (sender_index, sender, target, payload)
                     )
 
-        # Round 0: on_start runs on every node, by definition.
+        # Round 0: on_start runs on every node, by definition. Scheduled
+        # wakes degrade to keep-alive on this backend: a node with a
+        # pending timer stays latched (woken each round with an empty
+        # inbox — the no-op early wakes the schedule_wake contract
+        # permits) until the wake round clears it.
         remote_out: dict[int, list] = {}
         for v in my_nodes:
             node_ctx = contexts[v]
             outbox = algorithms[v].on_start(node_ctx) or {}
             if outbox:
                 stage(v, outbox, 0, remote_out)
-            if node_ctx._keep_alive:
+            if node_ctx._keep_alive or node_ctx._wake_at is not None:
                 latched.add(v)
         conn.send(("round_done", remote_out, bool(pending or latched)))
 
@@ -252,6 +256,8 @@ def _worker_main(conn, shard_id, my_nodes, shard_of, net, algorithms, run_seed):
                 node_ctx = contexts[v]
                 node_ctx.round = round_no
                 node_ctx._keep_alive = False
+                if node_ctx._wake_at is not None and node_ctx._wake_at <= round_no:
+                    node_ctx._wake_at = None  # the timer fires with this wake
                 entries = staged.get(v)
                 if entries:
                     entries.sort()
@@ -262,7 +268,7 @@ def _worker_main(conn, shard_id, my_nodes, shard_of, net, algorithms, run_seed):
                 stats.activations += 1
                 if outbox:
                     stage(v, outbox, round_no, remote_out)
-                if node_ctx._keep_alive:
+                if node_ctx._keep_alive or node_ctx._wake_at is not None:
                     latched.add(v)
             conn.send(("round_done", remote_out, bool(pending or latched)))
 

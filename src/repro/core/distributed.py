@@ -5,24 +5,55 @@ Pipeline (each phase runs in the simulator and is measured):
 1. **bfs** — build a BFS tree from the root (``O(D)`` rounds).
 2. **meta** — convergecast the tree depth to the root and broadcast the
    sweep parameters ``(seed, c, τ)`` (``O(D)`` rounds).
-3. **sweep** — the *level-synchronized sampled upward sweep*: each part is
+3. **sweep** — the *ack-driven sampled upward sweep*: each part is
    sampled with the shared-seed probability ``p = Θ(log n)/c`` (so all of a
    part's nodes agree without communication); sampled part-ids flow up the
-   tree one id per edge per round, level by level; a node whose accumulated
-   distinct-id count reaches the threshold ``τ = ceil(3/4 · p · c)``
-   declares its parent edge *overcongested* and stops forwarding. This is
-   the sampling idea of [HIZ16a, HHW18] applied to the paper's exact
-   marking process; Chernoff bounds give ``|I_e| ≥ c ⇒ marked`` and
-   ``marked ⇒ |I_e| ≥ c/2`` whp, so all Theorem 3.1 guarantees hold with
-   constant-factor slack. Rounds: ``depth · (τ + 1) = O(D log n)``.
-   With ``exact=True`` the sample rate is 1 and ``τ = c`` — the
-   deterministic variant (rounds ``O(c·D) = O(δD²)``), used to
-   cross-validate the sampled marking against the centralized one.
+   tree one id per edge per round; a node whose accumulated distinct-id
+   count reaches the threshold ``τ = ceil(3/4 · p · c)`` declares its
+   parent edge *overcongested* and stops forwarding. This is the sampling
+   idea of [HIZ16a, HHW18] applied to the paper's exact marking process;
+   Chernoff bounds give ``|I_e| ≥ c ⇒ marked`` and ``marked ⇒ |I_e| ≥ c/2``
+   whp, so all Theorem 3.1 guarantees hold with constant-factor slack.
+   Rounds: ``O(D + total forwarded ids) = O(D log n)`` worst case, usually
+   far less. With ``exact=True`` the sample rate is 1 and ``τ = c`` — the
+   deterministic variant, used to cross-validate the sampled marking
+   against the centralized one.
 4. **verify** — all parts aggregate through their candidate shortcuts
    (random-delay scheduling, measured): this is how parts learn their
    aggregate actually works and is the dominant ``O~(δD)`` term.
 
 Total measured rounds: ``O(D log n + δD log n) = O~(δD)`` — experiment E5.
+
+The ack protocol (PR 5)
+-----------------------
+
+The sweep used to be *level-synchronized*: a node at depth ``ℓ`` owned a
+calibrated window of ``τ + 1`` rounds and decided its marking at the
+window's first round, trusting that lockstep delivery put every child
+forward inside the previous window. That calibration reads ``ctx.round``
+as wall time, so under a non-uniform latency model (``scheduler="async"``)
+slow links pushed child forwards past their window and silently degraded
+the Theorem 3.1 marking. The sweep is now *ack-driven* and event-native —
+correct under **arbitrary** per-edge latencies, the asynchronous-safe
+convergecast assumption of the Ghaffari–Haeupler shortcut frameworks:
+
+* a node's upward stream is ``(ID, part_id)`` messages, one per round
+  (paced by ``ctx.schedule_wake(1)``, no keep-alive polling), terminated
+  either by piggybacking the last id as ``(FIN, part_id)`` or — when there
+  is nothing to forward (marked, or an empty id set) — by a bare ``(ACK,)``;
+* a parent decides its own marking exactly when every child has completed
+  (``FIN``/``ACK`` received from each), never by counting rounds, so its
+  decision is always based on its final accumulated id set;
+* leaves decide in ``on_start``; quiescence is the root having absorbed
+  every stream — the network's own termination detector, no horizon.
+
+The packet scheduler (:mod:`repro.sched.partwise`) runs the verification
+phase with the same convergecast-completion rule and the same delivery
+convention (a message sent at tick ``t`` crosses edge ``e`` by
+``t + latency(e)``). The retired level-synchronized node survives as
+:class:`KeepAliveSweepNode` (``sweep="keep-alive"``) — the measurement arm
+benchmark E19 contrasts against, and the regression subject for its
+round-skip decision bug.
 """
 
 from __future__ import annotations
@@ -51,20 +82,130 @@ __all__ = [
     "distributed_partial_shortcut",
     "distributed_full_shortcut",
     "SweepNode",
+    "KeepAliveSweepNode",
+    "SWEEP_VARIANTS",
 ]
 
-_ID_TAG = 0
+_ID_TAG = 0  # (0, part_id): one forwarded distinct id, more follow
+_FIN_TAG = 1  # (1, part_id): the final forwarded id, doubling as the ack
+_ACK_TAG = 2  # (2,): completion with nothing to forward (marked, or empty)
+
+# Registered sweep implementations for distributed_partial_shortcut.
+SWEEP_VARIANTS = ("ack", "keep-alive")
 
 
 class SweepNode(NodeAlgorithm):
-    """One node of the level-synchronized sampled upward sweep.
+    """One node of the ack-driven sampled upward sweep.
+
+    Purely reactive: the node accumulates distinct ids from its children's
+    streams and decides its marking at the exact moment the last child
+    completes (``FIN``/``ACK`` received from each) — leaves decide in
+    ``on_start``. An unmarked node then streams its accumulated ids upward
+    one per round (``schedule_wake(1)`` paces the stream; the last id is
+    piggybacked as the ack), a marked or empty node sends a bare ack.
+    Because completion is signalled, never inferred from the round number,
+    the marking is exact under every scheduler backend and every latency
+    model, and activations are ``O(messages)`` — no keep-alive polling.
+    """
+
+    def __init__(
+        self,
+        node: int,
+        part_id: int | None,
+        parent: int | None,
+        children: tuple[int, ...],
+        tau: int,
+        probability: float,
+        seed: int,
+    ):
+        self.node = node
+        self.parent = parent
+        self.tau = tau
+        self.pending = set(children)
+        self.ids: set[int] = set()
+        if part_id is not None and part_sample_hash(part_id, seed, probability):
+            self.ids.add(part_id)
+        self.marked = False
+        self.decided = False
+        self.send_queue: list[int] = []
+
+    def _decide(self, ctx):
+        """All children complete: fix the marking, open the upward stream."""
+        self.decided = True
+        if self.parent is None:
+            return {}
+        if len(self.ids) >= self.tau:
+            self.marked = True
+            return {self.parent: (_ACK_TAG,)}
+        self.send_queue = sorted(self.ids)  # streamed from the end
+        return self._emit(ctx)
+
+    def _emit(self, ctx):
+        """One send of the upward stream; the final one carries the ack."""
+        if not self.send_queue:
+            return {self.parent: (_ACK_TAG,)}
+        item = self.send_queue.pop()
+        if self.send_queue:
+            ctx.schedule_wake(1)
+            return {self.parent: (_ID_TAG, item)}
+        return {self.parent: (_FIN_TAG, item)}
+
+    def on_start(self, ctx):
+        if not self.pending:
+            return self._decide(ctx)
+        return {}
+
+    def on_round(self, ctx, inbox):
+        for sender, payload in inbox.items():
+            tag = payload[0]
+            if tag == _ID_TAG:
+                self.ids.add(payload[1])
+            elif tag == _FIN_TAG:
+                self.ids.add(payload[1])
+                self.pending.discard(sender)
+            else:
+                self.pending.discard(sender)
+        if not self.decided:
+            if self.pending:
+                return {}
+            return self._decide(ctx)
+        if self.send_queue:
+            # A paced continuation of the stream (all children are done by
+            # now, so this wake carries no messages to ingest).
+            return self._emit(ctx)
+        return {}
+
+    # Event-native: every wake either carries child messages or is the
+    # schedule_wake(1) stream continuation — the lockstep body above is
+    # already free of polling branches.
+    on_wake = on_round
+
+    def result(self):
+        return {
+            "marked": self.marked,
+            "ids_seen": len(self.ids),
+            "decided": self.decided,
+        }
+
+
+class KeepAliveSweepNode(NodeAlgorithm):
+    """The retired level-synchronized sweep (``sweep="keep-alive"``).
 
     Node at depth ``ℓ`` owns the window of rounds
     ``[(depth_max - ℓ)·(τ+1) + 1, (depth_max - ℓ + 1)·(τ+1)]``. All of its
-    children's forwards arrive by the window's first round (they sent during
-    the previous window), so the node's marking decision at that round is
-    based on its final accumulated id set — mirroring the exact bottom-up
-    process.
+    children's forwards arrive by the window's first round *in lockstep*,
+    so the node's marking decision at that round is based on its final
+    accumulated id set. Under a non-uniform latency model the windows are
+    read against virtual time, so the marking degrades (deterministically)
+    as links slow down — kept as the measurement arm that benchmark E19
+    contrasts with the ack-driven sweep, and as the activation-cost
+    contrast (every node latches keep-alive for the entire schedule).
+
+    The decision check is ``ctx.round >= decision_round`` with a
+    ``decided`` latch, *not* equality: a clock that skips rounds (virtual
+    time under a non-uniform model jumps between arrival ticks whenever a
+    node's wakes are not back-to-back) would strand an equality-checking
+    node undecided until ``max_rounds``.
     """
 
     def __init__(
@@ -92,7 +233,7 @@ class SweepNode(NodeAlgorithm):
         self.decided = False
 
     def on_start(self, ctx):
-        # The sweep is timer-driven: stay alive through the whole schedule
+        # The sweep is window-driven: stay alive through the whole schedule
         # even while silent, so quiescence detection does not cut it short.
         ctx.keep_alive()
         return {}
@@ -103,7 +244,7 @@ class SweepNode(NodeAlgorithm):
                 self.ids.add(payload[1])
         outbox: dict[int, object] = {}
         if self.parent is not None:
-            if ctx.round == self.decision_round and not self.decided:
+            if ctx.round >= self.decision_round and not self.decided:
                 self.decided = True
                 if len(self.ids) >= self.tau:
                     self.marked = True
@@ -116,7 +257,11 @@ class SweepNode(NodeAlgorithm):
         return outbox
 
     def result(self):
-        return {"marked": self.marked, "ids_seen": len(self.ids)}
+        return {
+            "marked": self.marked,
+            "ids_seen": len(self.ids),
+            "decided": self.decided,
+        }
 
 
 @dataclass
@@ -175,6 +320,7 @@ def distributed_partial_shortcut(
     scheduler: str = "event",
     workers: int | None = None,
     latency_model: object = None,
+    sweep: str = "ack",
 ) -> DistributedShortcutResult:
     """Run the full Theorem 1.5 pipeline; all round counts are measured.
 
@@ -187,7 +333,8 @@ def distributed_partial_shortcut(
         rng: seed or generator (drives the shared sampling seed and the
             verification delays).
         sampling_factor: the ``Θ(log n)`` multiplier in the sample rate.
-        exact: disable sampling (deterministic variant, ``O(δD²)`` rounds).
+        exact: disable sampling (deterministic variant), used to
+            cross-validate the marking against the centralized process.
         run_verification: include phase 4 (dominant cost; disable only for
             sweep-only microbenchmarks).
         elect_root: run a real distributed leader election for the root
@@ -198,18 +345,26 @@ def distributed_partial_shortcut(
         workers: process count for the sharded scheduler (``None`` =
             backend default).
         latency_model: per-edge latency model for the async scheduler
-            (``None`` = uniform/lockstep-equivalent). Under a non-uniform
-            model the level-synchronized sweep interprets its round windows
-            as virtual-time windows — the marking degrades gracefully (and
-            deterministically) as links slow down, which is exactly the
-            latency-realism scenario this backend exists to measure.
+            (``None`` = uniform/lockstep-equivalent). The default
+            ack-driven sweep keeps the marking exact under any model; the
+            ``"keep-alive"`` sweep reads its calibrated windows against
+            virtual time and degrades (deterministically) as links slow
+            down — the measurement arm of benchmark E19.
+        sweep: ``"ack"`` (event-native ack-driven sweep, the default) or
+            ``"keep-alive"`` (the retired level-synchronized variant; see
+            :class:`KeepAliveSweepNode`).
 
     Raises:
-        ShortcutError: if ``delta <= 0``, or if both ``root`` and
-            ``elect_root`` are given.
+        ShortcutError: if ``delta <= 0``, if both ``root`` and
+            ``elect_root`` are given, or on an unknown ``sweep`` variant.
     """
     if delta <= 0:
         raise ShortcutError(f"delta must be positive, got {delta}")
+    if sweep not in SWEEP_VARIANTS:
+        raise ShortcutError(
+            f"unknown sweep variant {sweep!r}; registered sweeps: "
+            f"{', '.join(SWEEP_VARIANTS)}"
+        )
     validate_scheduler(
         scheduler, ShortcutError, workers=workers, latency_model=latency_model
     )
@@ -272,22 +427,45 @@ def distributed_partial_shortcut(
         graph, rng=rng, scheduler=scheduler, workers=workers,
         latency_model=latency_model,
     )
-    algorithms = {
-        v: SweepNode(
-            node=v,
-            part_id=partition.part_index_of(v),
-            parent=tree.parent_of(v),
-            depth=tree.depth_of(v),
-            depth_max=depth_max,
-            tau=tau,
-            probability=probability,
-            seed=seed,
-        )
-        for v in graph.nodes()
-    }
+    if sweep == "ack":
+        algorithms: dict[int, NodeAlgorithm] = {
+            v: SweepNode(
+                node=v,
+                part_id=partition.part_index_of(v),
+                parent=tree.parent_of(v),
+                children=tree.children_of(v),
+                tau=tau,
+                probability=probability,
+                seed=seed,
+            )
+            for v in graph.nodes()
+        }
+    else:
+        algorithms = {
+            v: KeepAliveSweepNode(
+                node=v,
+                part_id=partition.part_index_of(v),
+                parent=tree.parent_of(v),
+                depth=tree.depth_of(v),
+                depth_max=depth_max,
+                tau=tau,
+                probability=probability,
+                seed=seed,
+            )
+            for v in graph.nodes()
+        }
     sweep_results, sweep_stats = network.run(algorithms)
     stats.add_phase("sweep", sweep_stats)
     marked = frozenset(v for v, r in sweep_results.items() if r["marked"])
+    # Stranded nodes (non-root, never reached a marking decision): always 0
+    # for the ack-driven sweep by construction; for the keep-alive sweep a
+    # regression guard on the >= decision check (a skipped clock must not
+    # leave windows unentered).
+    undecided = sum(
+        1
+        for v, r in sweep_results.items()
+        if not r["decided"] and tree.parent_of(v) is not None
+    )
 
     # Interpret the marking exactly as the centralized construction would.
     conflict = conflict_from_marking(tree, partition, marked)
@@ -321,6 +499,8 @@ def distributed_partial_shortcut(
             "seed": seed,
             "depth_max": depth_max,
             "exact": exact,
+            "sweep": sweep,
+            "undecided": undecided,
         },
     )
 
@@ -376,6 +556,7 @@ def distributed_full_shortcut(
     scheduler: str = "event",
     workers: int | None = None,
     latency_model: object = None,
+    sweep: str = "ack",
     max_escalations: int = 40,
 ) -> DistributedFullShortcutResult:
     """Iterate Theorem 1.5 over unsatisfied parts until all are covered.
@@ -384,7 +565,9 @@ def distributed_full_shortcut(
     ``theorem31-simulated`` provider): each iteration runs
     :func:`distributed_partial_shortcut` on the still-unsatisfied parts,
     accumulating its measured rounds; an iteration that satisfies no part
-    doubles δ and retries.
+    doubles δ and retries. The loop consumes the ack-driven sweep
+    unchanged — each iteration's marking is complete before the iteration
+    returns, under any scheduler backend and latency model.
 
     Args:
         graph, partition: the instance.
@@ -394,6 +577,8 @@ def distributed_full_shortcut(
             tree in that edge case.
         rng: seed or generator (consumed by every iteration's pipeline).
         scheduler, workers, latency_model: simulator backend plumbing.
+        sweep: sweep variant for every iteration (``"ack"`` default; see
+            :func:`distributed_partial_shortcut`).
         max_escalations: cap on δ doublings.
 
     Raises:
@@ -417,6 +602,7 @@ def distributed_full_shortcut(
         result = distributed_partial_shortcut(
             graph, sub, current_delta, rng=rng, run_verification=False,
             scheduler=scheduler, workers=workers, latency_model=latency_model,
+            sweep=sweep,
         )
         iterations += 1
         total = total + result.stats

@@ -542,6 +542,12 @@ class Theorem31CentralizedProvider(ShortcutProvider):
 class Theorem31SimulatedProvider(ShortcutProvider):
     """The measured Theorem 1.5 CONGEST pipeline, iterated per Observation 2.7.
 
+    Defaults to the ack-driven sweep, so the construction — and therefore
+    every app routed through this provider — is latency-adaptive: the
+    Theorem 3.1 marking stays exact under any registered latency model.
+    Pass ``options={"sweep": "keep-alive"}`` for the retired
+    level-synchronized variant (benchmark E19's measurement arm).
+
     Not cacheable: the pipeline consumes the request's rng stream, so a
     cache hit would skip draws and change every downstream random choice.
     Needs no pre-built tree either — every iteration constructs its own
@@ -557,6 +563,7 @@ class Theorem31SimulatedProvider(ShortcutProvider):
     def build(self, request, delta, tree):
         from repro.core.distributed import distributed_full_shortcut
 
+        sweep = request.options.get("sweep", "ack")
         result = distributed_full_shortcut(
             request.graph,
             request.partition,
@@ -566,6 +573,7 @@ class Theorem31SimulatedProvider(ShortcutProvider):
             scheduler=request.scheduler,
             workers=request.workers,
             latency_model=request.latency_model,
+            sweep=sweep,
         )
         return ShortcutOutcome(
             shortcut=result.shortcut,
@@ -577,6 +585,7 @@ class Theorem31SimulatedProvider(ShortcutProvider):
                 delta_used=result.delta_used,
                 iterations=result.iterations,
                 escalations=result.escalations,
+                details={"sweep": sweep},
             ),
         )
 

@@ -14,6 +14,7 @@ guarantee must hold a fortiori).
 """
 
 from repro.graphs.generators.classic import (
+    broom_graph,
     cycle_graph,
     path_graph,
     random_regular_expander,
@@ -37,6 +38,7 @@ from repro.graphs.generators.planar import (
 from repro.graphs.generators.treewidth import k_tree, partial_k_tree
 
 __all__ = [
+    "broom_graph",
     "cycle_graph",
     "path_graph",
     "wheel_graph",

@@ -59,6 +59,32 @@ def cycle_graph(n: int) -> nx.Graph:
     return graph
 
 
+def broom_graph(handle: int, bristles: int) -> nx.Graph:
+    """A broom: ``bristles`` star leaves on the end of a ``handle`` path.
+
+    Nodes ``0..handle-1`` form the path; node ``handle - 1`` is the star
+    center, with leaves ``handle..handle + bristles - 1``. The worst-case
+    thin-frontier instance (δ < 2; diameter ``handle``): a wave from node 0
+    crosses the high-diameter handle one node per round, then explodes into
+    the dense fringe — the acceptance family for the event-scheduler (E16)
+    and ack-driven-sweep (E19) activation claims.
+    """
+    if handle < 1 or bristles < 0:
+        raise GraphStructureError(
+            f"broom needs handle >= 1 and bristles >= 0, "
+            f"got {handle} and {bristles}"
+        )
+    graph = nx.path_graph(handle)
+    center = handle - 1
+    for bristle in range(handle, handle + bristles):
+        graph.add_edge(center, bristle)
+    graph.graph.update(
+        family="broom", delta_upper=2.0, planar=True,
+        handle=handle, bristles=bristles,
+    )
+    return graph
+
+
 def random_regular_expander(
     n: int,
     degree: int = 4,

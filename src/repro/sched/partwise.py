@@ -16,13 +16,27 @@ with a quality-``Q`` shortcut it is ``O(Q log n)`` whp, which is exactly
 the paper's claim about the usefulness of shortcuts.
 
 With a :class:`~repro.congest.asynchronous.LatencyModel` the engine runs
-latency-realistically: a packet entering edge ``e`` at tick ``t`` (still
-one per directed edge per tick — the capacity constraint) is delivered at
-``t + latency(e) - 1``, and the result's :class:`RoundStats` reports the
-wall-model ``virtual_time`` dimension. Latencies are deterministic from a
-seed drawn once per run, so latency-mode executions replay byte-identically
-per seed; without a model the engine is byte-identical to its lockstep
+latency-realistically, under the **one shared delivery convention** of the
+whole codebase (:meth:`repro.congest.engine.MessageFabric.deliver_timed`):
+a packet *sent* at tick ``t`` — ``t`` being the send tick recorded in
+``RoundStats.messages_by_round`` — is delivered at ``t + latency(e)``,
+with ``latency(e) = 1`` reproducing the lockstep sent-in-``r``,
+delivered-in-``r + 1`` schedule exactly (asserted by the test suite: a
+forced all-ones latency table is byte-identical to running with no model
+at all, in both this engine and the async scheduler backend). One packet
+may still *enter* a directed edge per tick — the CONGEST capacity
+constraint — and the result's :class:`RoundStats` reports the wall-model
+``virtual_time`` dimension. Latencies are deterministic from a seed drawn
+once per run, so latency-mode executions replay byte-identically per
+seed; without a model the engine is byte-identical to its lockstep
 behavior (no extra rng draws).
+
+The convergecast/broadcast waves this engine schedules are the packet-level
+mirror of the ack protocol the event algorithms use
+(:mod:`repro.core.distributed`): a node reports to its parent exactly when
+all children have reported — completion is signalled, never inferred from
+tick counting — which is why the measured completion stays correct under
+any latency assignment.
 
 Faithfulness note (documented in DESIGN.md): the routing trees are planned
 centrally. A distributed plan costs one extra broadcast-shaped wave over
@@ -283,13 +297,12 @@ def partwise_aggregate(
             # ``current_round``; the send-round key convention of
             # RoundStats.messages_by_round (sent in r, delivered in r+1,
             # initial wave at 0) makes that ``current_round - 1``.
-            stats.record_message(
-                edge[0], edge[1], _packet_bits(packet), current_round - 1
-            )
-            arrive = (
-                current_round if latencies is None
-                else current_round + latencies[edge] - 1
-            )
+            send_tick = current_round - 1
+            stats.record_message(edge[0], edge[1], _packet_bits(packet), send_tick)
+            # Shared delivery convention with the async scheduler backend
+            # (MessageFabric.deliver_timed): sent at tick t, delivered at
+            # t + latency(e); latency 1 == the lockstep r -> r+1 schedule.
+            arrive = send_tick + (latencies[edge] if latencies is not None else 1)
             in_flight.setdefault(arrive, []).append((edge, packet))
         for (source, target), packet in in_flight.pop(current_round, ()):
             kind, part, value = packet

@@ -10,6 +10,14 @@ _construct_shortcut`` / ``apps/connectivity.py:_phase_shortcut``
 dispatchers on the seeded instances below, immediately before they were
 deleted.
 
+One amendment: when the sweep became ack-driven (PR 5), the
+``theorem31-simulated`` arms' *measured stats* were re-pinned to the new
+pipeline — its functional outputs (MST edges/weight, partwise values,
+connectivity labels) were verified byte-identical to the pre-redesign
+goldens at re-pin time (the ack protocol computes the same marking, it
+just stops counting rounds to know when it is done), so those fields still
+carry the original captured values.
+
 The suite also pins the cache contract: a second identical request returns
 the memoized shortcut object with the memoized (not accumulated) stats,
 and MST runs sharing fragment collections (the min-cut tree packing)

@@ -224,3 +224,66 @@ class TestLatencyModelRegistry:
         for name in available_schedulers():
             assert name in message
         assert "async" in message
+
+
+class TestDeliveryConventionReconciled:
+    """Satellite (PR 5): one delivery convention everywhere — a message
+    sent at tick ``t`` crosses edge ``e`` by ``t + latency(e)``, so a
+    forced all-ones latency table is byte-identical to running with no
+    model at all. ``SeededJitterLatency(spread=1)`` builds a real table of
+    ones (``is_uniform`` is False), exercising the timed code path."""
+
+    def test_async_backend_all_ones_table_equals_lockstep(self):
+        graph = nx.lollipop_graph(6, 9)
+        _, no_model = distributed_bfs(graph, 0, rng=5, scheduler="async")
+        tree, ones = distributed_bfs(
+            graph, 0, rng=5, scheduler="async",
+            latency_model=SeededJitterLatency(spread=1),
+        )
+        reference, event = distributed_bfs(graph, 0, rng=5, scheduler="event")
+        assert {v: tree.parent_of(v) for v in tree.nodes()} == {
+            v: reference.parent_of(v) for v in reference.nodes()
+        }
+        for stats in (no_model, ones):
+            assert stats.rounds == event.rounds
+            assert stats.messages == event.messages
+            assert stats.message_bits == event.message_bits
+            assert stats.messages_by_round == event.messages_by_round
+            assert stats.edge_messages == event.edge_messages
+        # The ones-table run is latency mode: it reports virtual time —
+        # which, at unit latencies, *is* the round count.
+        assert ones.virtual_time == event.rounds
+
+    def test_packet_scheduler_all_ones_table_equals_lockstep(self):
+        from repro.core.providers import ShortcutRequest, build_shortcut
+        from repro.graphs.generators import grid_graph
+        from repro.graphs.partition import grid_rows_partition
+        from repro.sched.partwise import partwise_aggregate
+
+        graph = grid_graph(6, 6)
+        partition = grid_rows_partition(graph)
+        shortcut = build_shortcut(
+            ShortcutRequest(graph=graph, partition=partition, delta=3.0)
+        ).shortcut
+        runs = {}
+        for label, model in (
+            ("none", None), ("ones", SeededJitterLatency(spread=1)),
+        ):
+            # delay_mode="zero" keeps the rng stream out of the picture
+            # (latency mode draws one extra seed before the delays).
+            runs[label] = partwise_aggregate(
+                graph, partition, shortcut,
+                {v: 1 for v in graph.nodes()}, lambda a, b: a + b,
+                rng=3, delay_mode="zero", latency_model=model,
+            )
+        none, ones = runs["none"], runs["ones"]
+        assert ones.values == none.values
+        assert ones.completion_rounds == none.completion_rounds
+        assert ones.stats.rounds == none.stats.rounds
+        assert ones.stats.messages == none.stats.messages
+        assert ones.stats.messages_by_round == none.stats.messages_by_round
+        assert ones.stats.edge_messages == none.stats.edge_messages
+        # Latency mode reports the wall-model dimension; unit latencies
+        # make it coincide with the round count.
+        assert ones.stats.virtual_time == none.stats.rounds
+        assert none.stats.virtual_time == 0

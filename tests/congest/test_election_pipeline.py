@@ -87,3 +87,53 @@ class TestPipelinedTopK:
         top, _ = pipelined_top_k(graph, tree, items, k=k, rng=0)
         expected = tuple(sorted(x for lst in items.values() for x in lst)[:k])
         assert top == expected
+
+
+class TestAckDrivenTopK:
+    """PR 5: the pipeline terminates by acks, not by a calibrated horizon."""
+
+    def test_result_exact_under_latency_models(self):
+        graph = grid_graph(6, 6)
+        tree, _ = distributed_bfs(graph, 0, rng=1)
+        items = {v: [v + 50, 2 * v] for v in graph.nodes()}
+        expected = tuple(sorted(x for lst in items.values() for x in lst)[:6])
+        for model in (None, "seeded-jitter", "degree-proportional"):
+            top, stats = pipelined_top_k(
+                graph, tree, items, k=6, rng=2, scheduler="async",
+                latency_model=model,
+            )
+            assert top == expected, model
+
+    def test_activations_track_traffic_not_horizon(self):
+        # Deep path, items only at the far leaf: the retired horizon
+        # variant paid ~n * (depth + k) activations; ack-driven pays for
+        # the messages that actually flow.
+        depth = 200
+        graph = nx.path_graph(depth + 1)
+        tree, _ = distributed_bfs(graph, 0, rng=1)
+        items = {depth: [depth + i for i in range(3)]}
+        top, stats = pipelined_top_k(graph, tree, items, k=3, rng=1)
+        assert top == (depth, depth + 1, depth + 2)
+        assert stats.activations <= 2 * stats.messages
+        horizon_cost = graph.number_of_nodes() * (tree.max_depth + 3 + 2)
+        assert stats.activations < horizon_cost / 10
+
+    def test_quiesces_before_the_retired_horizon_on_shallow_trees(self):
+        graph = wheel_graph(20)
+        tree, _ = distributed_bfs(graph, 0, rng=1)
+        items = {v: [v] for v in graph.nodes()}
+        top, stats = pipelined_top_k(graph, tree, items, k=3, rng=1)
+        assert top == (0, 1, 2)
+        # Horizon was depth + k + 2 for every instance; acks let the run
+        # stop as soon as the root has absorbed every stream.
+        assert stats.rounds <= tree.max_depth + 3 + 2
+
+    def test_local_duplicates_collapse_too(self):
+        # Regression: a node's *own* duplicate items must not occupy
+        # top-k window slots (they used to evict real distinct values).
+        graph = nx.path_graph(3)
+        tree, _ = distributed_bfs(graph, 0, rng=1)
+        top, _ = pipelined_top_k(graph, tree, {2: [5, 5, 7, 9]}, k=3, rng=1)
+        assert top == (5, 7, 9)
+        top, _ = pipelined_top_k(graph, tree, {0: [5, 5, 9]}, k=3, rng=1)
+        assert top == (5, 9)

@@ -255,3 +255,129 @@ class TestRoundStats:
         assert original.virtual_time == 11
         assert original.completion_times == {0: 11, 1: 6}
         assert original.phases["p"].completion_times == {1: 5}
+
+
+class TestWallModelAlgebra:
+    """Satellite (PR 5): the wall-model dimension (``virtual_time``,
+    per-node ``completion_times``) must compose exactly like ``rounds`` —
+    sequential sums / key-wise max, parallel max — through arbitrarily
+    nested ``add_phase`` -> ``merge`` -> ``copy`` chains, and cached
+    copies must never alias the live run's dicts."""
+
+    def _leaf(self, vt, completions, phase=None):
+        stats = RoundStats(
+            rounds=vt, virtual_time=vt, completion_times=dict(completions)
+        )
+        if phase:
+            wrapped = RoundStats()
+            wrapped.add_phase(phase, stats)
+            return wrapped
+        return stats
+
+    def test_sequential_composition_sums_vt_and_maxes_completions(self):
+        a = self._leaf(5, {0: 5, 1: 3})
+        b = self._leaf(4, {1: 4, 2: 2})
+        total = a + b
+        assert total.virtual_time == 9
+        assert total.completion_times == {0: 5, 1: 4, 2: 2}
+        accumulated = RoundStats()
+        accumulated.add_phase("first", a)
+        accumulated.add_phase("second", b)
+        assert accumulated.virtual_time == 9
+        assert accumulated.completion_times == {0: 5, 1: 4, 2: 2}
+
+    def test_parallel_composition_maxes_vt_and_completions(self):
+        a = self._leaf(7, {0: 7, 1: 2})
+        b = self._leaf(5, {1: 5, 2: 5})
+        merged = a.merge(b)
+        assert merged.virtual_time == 7
+        assert merged.completion_times == {0: 7, 1: 5, 2: 5}
+
+    def test_nested_phase_merge_copy_chain(self):
+        # Two "shards", each with a phased breakdown, merged then copied:
+        # every level of the tree must carry the wall-model dimension.
+        shard_a = RoundStats()
+        shard_a.add_phase("sweep", self._leaf(6, {0: 6}))
+        shard_a.add_phase("verify", self._leaf(3, {0: 9}))
+        shard_b = RoundStats()
+        shard_b.add_phase("sweep", self._leaf(8, {1: 8}))
+        shard_b.add_phase("verify", self._leaf(1, {1: 9}))
+        merged = shard_a.merge(shard_b)
+        assert merged.virtual_time == 9  # max(6+3, 8+1)
+        assert merged.completion_times == {0: 9, 1: 9}
+        assert merged.phases["sweep"].virtual_time == 8
+        assert merged.phases["sweep"].completion_times == {0: 6, 1: 8}
+        copied = merged.copy()
+        assert copied == merged
+        # Deep isolation: scribbling on the copy (any nesting level) must
+        # not reach the original.
+        copied.completion_times[0] = 10**6
+        copied.phases["sweep"].completion_times[1] = 10**6
+        copied.phases["sweep"].virtual_time = 10**6
+        assert merged.completion_times[0] == 9
+        assert merged.phases["sweep"].completion_times[1] == 8
+        assert merged.phases["sweep"].virtual_time == 8
+
+    def test_provider_cache_isolates_wall_model_dicts(self):
+        # A cached outcome's stats must not alias the live run's
+        # completion_times dict: a caller scribbling on its outcome (or a
+        # later run extending its own dict) must never corrupt the cache.
+        from repro.core import providers
+        from repro.core.providers import (
+            ShortcutRequest,
+            ShortcutOutcome,
+            ShortcutProvenance,
+            ShortcutProvider,
+            build_shortcut,
+            clear_shortcut_cache,
+            register_provider,
+        )
+        from repro.core.shortcut import Shortcut
+        from repro.graphs.partition import Partition
+
+        class WallModelProvider(ShortcutProvider):
+            name = "test-wall-model"
+            needs_delta = False
+            needs_tree = False
+            cacheable = True
+
+            def build(self, request, delta, tree):
+                stats = RoundStats(
+                    rounds=4, virtual_time=4, completion_times={0: 4, 1: 2}
+                )
+                return ShortcutOutcome(
+                    shortcut=Shortcut(
+                        request.graph, request.partition,
+                        [[] for _ in request.partition],
+                    ),
+                    tree=None,
+                    stats=stats,
+                    provenance=ShortcutProvenance(provider=self.name),
+                )
+
+        graph = nx.path_graph(4)
+        partition = Partition(graph, [{0, 1}, {2, 3}])
+        register_provider(WallModelProvider())
+        try:
+            clear_shortcut_cache()
+            first = build_shortcut(ShortcutRequest(
+                graph=graph, partition=partition, provider="test-wall-model"
+            ))
+            assert not first.provenance.cache_hit
+            first.stats.completion_times[0] = 10**6
+            first.stats.virtual_time = 10**6
+            second = build_shortcut(ShortcutRequest(
+                graph=graph, partition=partition, provider="test-wall-model"
+            ))
+            assert second.provenance.cache_hit
+            assert second.stats.completion_times == {0: 4, 1: 2}
+            assert second.stats.virtual_time == 4
+            # And the hit's copy is isolated from the next hit too.
+            second.stats.completion_times.clear()
+            third = build_shortcut(ShortcutRequest(
+                graph=graph, partition=partition, provider="test-wall-model"
+            ))
+            assert third.stats.completion_times == {0: 4, 1: 2}
+        finally:
+            providers._REGISTRY.pop("test-wall-model", None)
+            clear_shortcut_cache()

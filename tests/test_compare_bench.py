@@ -1,0 +1,118 @@
+"""Tests for the bench-trajectory gate's failure modes.
+
+Satellite (PR 5): every input/baseline problem must fail with a clear
+message and a nonzero exit — a missing input artifact, a missing baseline
+file, or a baseline that lost its schema keys — never a raw traceback.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+SCRIPT = pathlib.Path(__file__).parent.parent / "benchmarks" / "compare_bench.py"
+
+
+def _run(*args):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *args],
+        capture_output=True, text=True, timeout=120,
+    )
+
+
+def _bench_json(path, name="test_bench", minimum=0.01):
+    path.write_text(json.dumps(
+        {"benchmarks": [{"name": name, "stats": {"min": minimum}}]}
+    ))
+
+
+class TestGracefulFailures:
+    def test_missing_input_file_clear_error(self, tmp_path):
+        # A committed baseline exists, but the run never produced its
+        # artifact — the gate must say so, not traceback.
+        seed_json = tmp_path / "BENCH_missing.json"
+        _bench_json(seed_json)
+        baseline_dir = tmp_path / "baselines"
+        _run("--update", str(seed_json), "--baseline-dir", str(baseline_dir))
+        seed_json.unlink()
+        result = _run(str(seed_json), "--baseline-dir", str(baseline_dir))
+        assert result.returncode != 0
+        assert "not found" in result.stderr
+        assert "Traceback" not in result.stderr
+
+    def test_missing_baseline_file_clear_error(self, tmp_path):
+        run_json = tmp_path / "BENCH_x.json"
+        _bench_json(run_json)
+        result = _run(str(run_json), "--baseline-dir", str(tmp_path / "empty"))
+        assert result.returncode == 1
+        assert "no committed baseline" in result.stdout
+        assert "--update" in result.stdout
+        assert "Traceback" not in result.stderr
+
+    def test_baseline_missing_schema_keys_clear_error(self, tmp_path):
+        run_json = tmp_path / "BENCH_x.json"
+        _bench_json(run_json)
+        baseline_dir = tmp_path / "baselines"
+        baseline_dir.mkdir()
+        (baseline_dir / "BENCH_x.json").write_text(json.dumps({"schema": 1}))
+        result = _run(str(run_json), "--baseline-dir", str(baseline_dir))
+        assert result.returncode == 1
+        assert "calibration" in result.stdout and "--update" in result.stdout
+        assert "Traceback" not in result.stderr
+
+    def test_corrupt_baseline_json_clear_error(self, tmp_path):
+        run_json = tmp_path / "BENCH_x.json"
+        _bench_json(run_json)
+        baseline_dir = tmp_path / "baselines"
+        baseline_dir.mkdir()
+        (baseline_dir / "BENCH_x.json").write_text("{not json")
+        result = _run(str(run_json), "--baseline-dir", str(baseline_dir))
+        assert result.returncode == 1
+        assert "unreadable" in result.stdout
+        assert "Traceback" not in result.stderr
+
+    def test_update_then_compare_round_trips(self, tmp_path):
+        run_json = tmp_path / "BENCH_x.json"
+        _bench_json(run_json)
+        baseline_dir = tmp_path / "baselines"
+        seeded = _run("--update", str(run_json), "--baseline-dir", str(baseline_dir))
+        assert seeded.returncode == 0
+        ok = _run(str(run_json), "--baseline-dir", str(baseline_dir))
+        assert ok.returncode == 0
+        assert "gate passed" in ok.stdout
+
+    def test_regression_detected(self, tmp_path):
+        run_json = tmp_path / "BENCH_x.json"
+        _bench_json(run_json, minimum=0.05)
+        baseline_dir = tmp_path / "baselines"
+        _run("--update", str(run_json), "--baseline-dir", str(baseline_dir))
+        _bench_json(run_json, minimum=5.0)  # 100x slower
+        result = _run(str(run_json), "--baseline-dir", str(baseline_dir))
+        assert result.returncode == 1
+        assert "REGRESSION" in result.stdout
+
+    def test_array_input_file_clear_error(self, tmp_path):
+        # A truncated/hand-edited artifact whose top level is an array
+        # must produce the clear not-a-benchmark-file message.
+        seed_json = tmp_path / "BENCH_x.json"
+        _bench_json(seed_json)
+        baseline_dir = tmp_path / "baselines"
+        _run("--update", str(seed_json), "--baseline-dir", str(baseline_dir))
+        seed_json.write_text("[]")
+        result = _run(str(seed_json), "--baseline-dir", str(baseline_dir))
+        assert result.returncode != 0
+        assert "not a pytest-benchmark JSON" in result.stderr
+        assert "Traceback" not in result.stderr
+
+    def test_zero_calibration_baseline_clear_error(self, tmp_path):
+        run_json = tmp_path / "BENCH_x.json"
+        _bench_json(run_json)
+        baseline_dir = tmp_path / "baselines"
+        baseline_dir.mkdir()
+        (baseline_dir / "BENCH_x.json").write_text(json.dumps(
+            {"schema": 1, "calibration": 0, "times": {"test_bench": 0.01}}
+        ))
+        result = _run(str(run_json), "--baseline-dir", str(baseline_dir))
+        assert result.returncode == 1
+        assert "--update" in result.stdout
+        assert "Traceback" not in result.stderr
