@@ -1,0 +1,62 @@
+"""Static analysis for the CONGEST simulator: the ``repro lint`` engine.
+
+The simulator's cross-backend byte-equivalence contract rests on coding
+invariants that no general-purpose tool checks — per-node randomness only
+from ``ctx.rng``, no wall-clock reads, no unordered set iteration into
+message emission, no ``ctx.round``-as-wall-time protocols, backend classes
+behind the registry, no shared-state mutation from node code. This package
+mechanizes them:
+
+* :mod:`repro.analysis.rules` — the rule registry (the scheduler/provider
+  registry idiom) and the six shipped rules: ``DET-RNG``, ``DET-ORDER``,
+  ``DET-WALL``, ``PROTO-ROUND``, ``REG-BACKEND``, ``PROTO-STATE``;
+* :mod:`repro.analysis.engine` — file discovery, rule dispatch, and the
+  ``# repro: allow[RULE] reason`` suppression syntax with unused/unknown/
+  unjustified-suppression hygiene;
+* :mod:`repro.analysis.report` — text / JSON / GitHub-annotation output.
+
+The CLI front end is ``python -m repro lint`` (see :mod:`repro.cli`); the
+*dynamic* twin of the static pass — the runtime spurious-wake sanitizer —
+lives in :mod:`repro.congest.engine` (``SyncNetwork(..., sanitize=True)``).
+
+The package is deliberately stdlib-only (``ast``, ``tokenize``): linting
+must not drag in the simulator's dependencies, and nothing in the
+simulator may depend back on the linter.
+"""
+
+from repro.analysis.engine import (
+    Suppression,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+    parse_suppressions,
+    resolve_selection,
+)
+from repro.analysis.report import FORMATS, format_findings
+from repro.analysis.rules import (
+    Finding,
+    Rule,
+    available_rules,
+    get_rule,
+    module_path,
+    register_rule,
+    rule_table,
+)
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "Suppression",
+    "FORMATS",
+    "analyze_paths",
+    "analyze_source",
+    "available_rules",
+    "format_findings",
+    "get_rule",
+    "iter_python_files",
+    "module_path",
+    "parse_suppressions",
+    "register_rule",
+    "resolve_selection",
+    "rule_table",
+]

@@ -1,0 +1,62 @@
+"""Output formats for ``repro lint`` findings.
+
+Three formats, selected by the CLI's ``--format`` flag:
+
+* ``text`` — one ``path:line:col: RULE message`` line per finding, the
+  greppable default;
+* ``json`` — a stable machine-readable document (sorted keys, findings in
+  the analyzer's sorted order);
+* ``github`` — ``::error`` workflow commands, so the CI job annotates the
+  offending lines directly in the pull-request diff.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+
+from repro.analysis.rules import Finding
+
+__all__ = ["FORMATS", "format_findings"]
+
+FORMATS = ("text", "json", "github")
+
+
+def format_findings(findings: Sequence[Finding], fmt: str = "text") -> str:
+    """Render findings in the requested format.
+
+    Raises:
+        ValueError: unknown format name (the message lists ``FORMATS``,
+            matching the registry error convention).
+    """
+    if fmt == "text":
+        return "\n".join(
+            f"{f.path}:{f.line}:{f.col}: {f.rule} {f.message}" for f in findings
+        )
+    if fmt == "json":
+        return json.dumps(
+            {
+                "count": len(findings),
+                "findings": [
+                    {
+                        "path": f.path,
+                        "line": f.line,
+                        "col": f.col,
+                        "rule": f.rule,
+                        "message": f.message,
+                    }
+                    for f in findings
+                ],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    if fmt == "github":
+        return "\n".join(
+            f"::error file={f.path},line={f.line},col={f.col},"
+            f"title=repro-lint {f.rule}::{f.message}"
+            for f in findings
+        )
+    raise ValueError(
+        f"unknown lint output format {fmt!r}; formats: {', '.join(FORMATS)}"
+    )

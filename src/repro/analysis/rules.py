@@ -1,0 +1,669 @@
+"""The rule registry and the CONGEST-specific rules behind ``repro lint``.
+
+Every guarantee the simulator makes — byte-identical executions across the
+``dense``/``event``/``sharded``/``async`` backends, seed-replayable runs,
+exact Theorem 3.1 marking under any latency model — rests on a handful of
+coding invariants that no type checker sees: node code draws randomness
+only from ``ctx.rng``, never reads ``ctx.round`` as wall time, never
+iterates an unordered set into message-emission order, never mutates the
+shared graph mid-run. Each rule here mechanizes one of those invariants as
+an AST check.
+
+Rules self-register at import time (:func:`register_rule`), mirroring the
+scheduler-backend and shortcut-provider registries: an unknown rule name
+fails with a message listing every registered rule, uniformly at every API
+boundary (:func:`get_rule`, the CLI ``--select`` flag, suppression
+comments).
+
+Scope is derived from the file's path: the segment after the rightmost
+``repro`` package directory is the *module path* (``congest/engine.py``,
+``apps/sssp.py``, ...). Files outside the package — tests, benchmarks —
+have no module path and are exempt from every rule (fixture snippets that
+deliberately violate the rules live there as plain strings).
+
+The checks are linters, not proofs: they are deliberately syntactic
+(a set squirreled through an untracked alias, or randomness behind a
+helper function, can escape them) and deliberately strict the other way
+(an order-insensitive fold over a set is still flagged). False positives
+are handled with the inline suppression syntax — ``# repro: allow[RULE]
+reason`` — which :mod:`repro.analysis.engine` validates for unused entries
+and missing justifications.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "register_rule",
+    "get_rule",
+    "available_rules",
+    "rule_table",
+    "module_path",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic, anchored to a source location (1-based line/col)."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+
+def module_path(path: str) -> str | None:
+    """The path segment after the rightmost ``repro`` package directory.
+
+    ``src/repro/congest/engine.py`` -> ``congest/engine.py``; paths with no
+    ``repro`` directory (tests, benchmarks, scratch files) map to ``None``,
+    which exempts them from every rule.
+    """
+    parts = [part for part in str(path).replace("\\", "/").split("/") if part]
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            sub = "/".join(parts[i + 1 :])
+            return sub or None
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Registry (the scheduler/provider registry idiom: register / get / list,
+# unknown names fail with the full roster).
+
+_RULES: dict[str, type["Rule"]] = {}
+
+
+def register_rule(rule: type["Rule"], replace_existing: bool = False) -> None:
+    """Register a rule class under ``rule.name``.
+
+    Raises:
+        ValueError: when the name is taken and ``replace_existing`` is
+            False.
+    """
+    if rule.name in _RULES and not replace_existing:
+        raise ValueError(f"lint rule {rule.name!r} is already registered")
+    _RULES[rule.name] = rule
+
+
+def get_rule(name: str) -> type["Rule"]:
+    """Look up a registered rule class by name.
+
+    Raises:
+        ValueError: unknown name (the message lists the registry, matching
+            the scheduler/provider error convention).
+    """
+    try:
+        return _RULES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown lint rule {name!r}; registered rules: "
+            f"{', '.join(available_rules())}"
+        ) from None
+
+
+def available_rules() -> tuple[str, ...]:
+    """Sorted names of all registered rules."""
+    return tuple(sorted(_RULES))
+
+
+def rule_table() -> list[tuple[str, str]]:
+    """``(name, summary)`` pairs for every registered rule, sorted."""
+    return [(name, _RULES[name].summary) for name in available_rules()]
+
+
+class Rule:
+    """One static check over a parsed module.
+
+    Subclasses set :attr:`name` (the ``REPRO-lint`` code used in output,
+    ``--select``, and suppression comments) and :attr:`summary` (one line
+    for ``--list-rules`` and the README table), restrict themselves to the
+    relevant part of the tree via :meth:`applies_to`, and emit
+    :class:`Finding` objects from :meth:`check`.
+    """
+
+    name = "abstract"
+    summary = ""
+
+    def applies_to(self, module: str | None) -> bool:
+        """Whether this rule runs on a file with the given module path."""
+        return module is not None
+
+    def check(self, module: str, tree: ast.Module, path: str) -> list[Finding]:
+        """Return every finding for one parsed file."""
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers.
+
+# Modules whose code executes *inside* the simulator's round loop (node
+# algorithms, backends, the fabric) — where the determinism rules bite.
+_SIMULATOR_EXTRA = frozenset({"core/distributed.py", "sched/partwise.py"})
+
+
+def _is_simulator_module(module: str) -> bool:
+    return module.startswith("congest/") or module in _SIMULATOR_EXTRA
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _finding(rule: "Rule", path: str, node: ast.AST, message: str) -> Finding:
+    return Finding(path, node.lineno, node.col_offset + 1, rule.name, message)
+
+
+# ---------------------------------------------------------------------------
+# DET-RNG — no module-level randomness in simulator code.
+
+
+class DetRngRule(Rule):
+    """Ban ``random.*`` / ``np.random`` in simulator code.
+
+    Per-node streams must come from ``ctx.rng`` (derived from
+    ``(run_seed, node_index)``) or the :mod:`repro.util.rng` helpers; a
+    module-level draw depends on global call order, which differs across
+    scheduler backends and worker processes. Type annotations
+    (``rng: random.Random``) are attribute references, not calls, and are
+    not flagged.
+    """
+
+    name = "DET-RNG"
+    summary = (
+        "module-level randomness (random.*, np.random) in simulator code; "
+        "draw from ctx.rng or repro.util.rng instead"
+    )
+
+    def applies_to(self, module: str | None) -> bool:
+        return module is not None and _is_simulator_module(module)
+
+    def check(self, module, tree, path):
+        findings = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                findings.append(_finding(
+                    self, path, node,
+                    "importing names from the random module invites "
+                    "call-order-dependent draws; use ctx.rng or the "
+                    "repro.util.rng helpers",
+                ))
+            elif isinstance(node, ast.Call):
+                dotted = _dotted(node.func)
+                if dotted and (dotted == "random" or dotted.startswith("random.")):
+                    findings.append(_finding(
+                        self, path, node,
+                        f"call to {dotted}() draws from shared module-level "
+                        "state; simulator code must use ctx.rng or the "
+                        "repro.util.rng helpers",
+                    ))
+            elif isinstance(node, ast.Attribute):
+                dotted = _dotted(node)
+                if dotted in ("np.random", "numpy.random"):
+                    findings.append(_finding(
+                        self, path, node,
+                        f"{dotted} is shared global state; simulator code "
+                        "must use ctx.rng or the repro.util.rng helpers",
+                    ))
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# DET-WALL — no wall-clock or OS-entropy sources in simulator code.
+
+_WALL_TIME_NAMES = frozenset({
+    "time", "monotonic", "perf_counter", "process_time", "sleep",
+    "time_ns", "monotonic_ns", "perf_counter_ns", "process_time_ns",
+})
+_WALL_ATTRS = frozenset({"os.urandom"} | {f"time.{n}" for n in _WALL_TIME_NAMES})
+
+
+class DetWallRule(Rule):
+    """Ban wall-clock reads and OS entropy in simulator code.
+
+    Rounds and virtual time are the only clocks a CONGEST execution may
+    observe; ``time.*``, ``os.urandom``, and ``uuid`` make runs
+    unreplayable and backend-dependent.
+    """
+
+    name = "DET-WALL"
+    summary = (
+        "wall-clock / OS-entropy source (time.*, os.urandom, uuid) in "
+        "simulator code; rounds and ctx.rng are the only clocks and coins"
+    )
+
+    def applies_to(self, module: str | None) -> bool:
+        return module is not None and _is_simulator_module(module)
+
+    def check(self, module, tree, path):
+        findings = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "uuid":
+                    findings.append(_finding(
+                        self, path, node,
+                        "uuid draws OS entropy; simulator identifiers must "
+                        "be derived from node ids and ctx.rng",
+                    ))
+                elif node.module == "time" and any(
+                    alias.name in _WALL_TIME_NAMES for alias in node.names
+                ):
+                    findings.append(_finding(
+                        self, path, node,
+                        "importing wall-clock functions from time; the "
+                        "round counter / virtual clock is the only time "
+                        "simulator code may observe",
+                    ))
+                elif node.module == "os" and any(
+                    alias.name == "urandom" for alias in node.names
+                ):
+                    findings.append(_finding(
+                        self, path, node,
+                        "os.urandom is OS entropy; use ctx.rng",
+                    ))
+            elif isinstance(node, ast.Import):
+                if any(
+                    alias.name == "uuid" or alias.name.startswith("uuid.")
+                    for alias in node.names
+                ):
+                    findings.append(_finding(
+                        self, path, node,
+                        "uuid draws OS entropy; simulator identifiers must "
+                        "be derived from node ids and ctx.rng",
+                    ))
+            elif isinstance(node, ast.Attribute):
+                dotted = _dotted(node)
+                if dotted in _WALL_ATTRS or (dotted and dotted.startswith("uuid.")):
+                    findings.append(_finding(
+                        self, path, node,
+                        f"{dotted} reads wall clock / OS entropy; the round "
+                        "counter and ctx.rng are the only clocks and coins "
+                        "in simulator code",
+                    ))
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# DET-ORDER — no unordered set iteration on message-emitting paths.
+
+_SET_ANNOTATION_RE = re.compile(r"\b(set|frozenset|Set|FrozenSet|AbstractSet|MutableSet)\b")
+_ORDER_SAFE_REDUCTIONS = frozenset({
+    "sorted", "min", "max", "sum", "len", "any", "all", "set", "frozenset",
+})
+_SET_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference", "copy",
+})
+_EMISSION_BASE_SUFFIXES = ("NodeAlgorithm", "Backend", "Node", "Fabric")
+_EMISSION_FUNCTIONS = frozenset({"_worker_main"})
+
+
+def _annotation_is_set(annotation: ast.AST) -> bool:
+    try:
+        text = ast.unparse(annotation)
+    except Exception:  # pragma: no cover - unparse is total on valid trees
+        return False
+    return bool(_SET_ANNOTATION_RE.search(text))
+
+
+def _collect_set_names(tree: ast.Module) -> set[str]:
+    """Names/attribute chains assigned set-typed values, module-wide.
+
+    Deliberately flow-insensitive: one set-typed assignment marks the name
+    for the whole module (two passes give aliases like ``y = x`` a chance
+    to propagate). Conservative in both directions — a name rebound to a
+    sorted list later stays marked, and sets passed in as parameters are
+    invisible; both are acceptable for a linter backed by suppressions.
+    """
+    names: set[str] = set()
+    for _ in range(2):
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                value, annotation, targets = node.value, None, node.targets
+            elif isinstance(node, ast.AnnAssign):
+                value, annotation, targets = node.value, node.annotation, (node.target,)
+            elif isinstance(node, ast.AugAssign):
+                value, annotation, targets = node.value, None, (node.target,)
+            else:
+                continue
+            set_typed = (value is not None and _is_set_expr(value, names)) or (
+                annotation is not None and _annotation_is_set(annotation)
+            )
+            if not set_typed:
+                continue
+            for target in targets:
+                dotted = _dotted(target)
+                if dotted:
+                    names.add(dotted)
+    return names
+
+
+def _is_set_expr(expr: ast.AST, set_names: set[str]) -> bool:
+    """Whether ``expr`` syntactically evaluates to a set."""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
+            return _is_set_expr(func.value, set_names)
+        return False
+    if isinstance(expr, ast.BinOp) and isinstance(
+        expr.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        return _is_set_expr(expr.left, set_names) or _is_set_expr(
+            expr.right, set_names
+        )
+    dotted = _dotted(expr)
+    return dotted is not None and dotted in set_names
+
+
+def _emission_contexts(tree: ast.Module):
+    """Top-level nodes whose bodies feed message emission or delivery.
+
+    Classes deriving from ``*NodeAlgorithm`` / ``*Backend`` / ``*Node`` /
+    ``*Fabric`` (plus the fabric itself) and the sharded worker entry
+    point. Module-level glue that only post-processes results is out of
+    scope — a set iterated into a *result* is checked by equality, not by
+    emission order.
+    """
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            names = [node.name] + [_dotted(base) or "" for base in node.bases]
+            if any(
+                name.split(".")[-1].endswith(_EMISSION_BASE_SUFFIXES)
+                for name in names
+            ):
+                yield node
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name in _EMISSION_FUNCTIONS:
+                yield node
+
+
+class DetOrderRule(Rule):
+    """Flag raw set iteration inside message-emitting code.
+
+    Set iteration order is hash-seed- and history-dependent; feeding it
+    into sends (or inbox staging) breaks cross-backend byte equivalence.
+    Iterations whose order cannot be observed are exempt: set
+    comprehensions (set -> set) and generator expressions consumed directly
+    by an order-insensitive reduction (``sorted``/``min``/``max``/``sum``/
+    ``any``/``all``/``set``/``frozenset``).
+    """
+
+    name = "DET-ORDER"
+    summary = (
+        "unordered set iteration on a message-emitting simulator path; "
+        "wrap the iterable in sorted(...)"
+    )
+
+    def applies_to(self, module: str | None) -> bool:
+        return module is not None and (
+            module.startswith("congest/") or module == "core/distributed.py"
+        )
+
+    def check(self, module, tree, path):
+        set_names = _collect_set_names(tree)
+        findings = []
+        for context in _emission_contexts(tree):
+            parents: dict[ast.AST, ast.AST] = {}
+            for parent in ast.walk(context):
+                for child in ast.iter_child_nodes(parent):
+                    parents[child] = parent
+            for node in ast.walk(context):
+                sites: list[ast.AST] = []
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    sites.append(node.iter)
+                elif isinstance(node, (ast.ListComp, ast.DictComp)):
+                    sites.extend(gen.iter for gen in node.generators)
+                elif isinstance(node, ast.GeneratorExp):
+                    consumer = parents.get(node)
+                    if (
+                        isinstance(consumer, ast.Call)
+                        and isinstance(consumer.func, ast.Name)
+                        and consumer.func.id in _ORDER_SAFE_REDUCTIONS
+                    ):
+                        continue
+                    sites.extend(gen.iter for gen in node.generators)
+                for expr in sites:
+                    if _is_set_expr(expr, set_names):
+                        source = _dotted(expr) or type(expr).__name__
+                        findings.append(_finding(
+                            self, path, expr,
+                            f"iterating a set ({source}) on a "
+                            "message-emitting path; set order is "
+                            "hash-dependent — wrap it in sorted(...) so "
+                            "emission order is deterministic",
+                        ))
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# PROTO-ROUND — ctx.round must not be read as wall time.
+
+
+class ProtoRoundRule(Rule):
+    """Flag ``ctx.round`` reads in algorithm code.
+
+    Reading the round counter as wall time was retired with the
+    lockstep-calibrated sweep: a round count means different things under
+    different latency models, so protocols must detect progress with acks
+    or ``ctx.schedule_wake``. The retired-but-kept reference
+    ``KeepAliveSweepNode`` is the single whitelisted reader; engine/backend
+    modules (stats plumbing that *maintains* the counter) are out of
+    scope.
+    """
+
+    name = "PROTO-ROUND"
+    summary = (
+        "ctx.round read as wall time in algorithm code (retired in the "
+        "ack-driven redesign); use acks or ctx.schedule_wake"
+    )
+
+    _WHITELIST_CLASSES = frozenset({"KeepAliveSweepNode"})
+
+    def applies_to(self, module: str | None) -> bool:
+        if module is None:
+            return False
+        return (
+            module.startswith("congest/primitives/")
+            or module.startswith("apps/")
+            or module in ("core/distributed.py", "sched/partwise.py")
+        )
+
+    def check(self, module, tree, path):
+        exempt: set[ast.AST] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and node.name in self._WHITELIST_CLASSES:
+                exempt.update(ast.walk(node))
+        findings = []
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == "round"
+                and isinstance(node.ctx, ast.Load)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in ("ctx", "node_ctx")
+                and node not in exempt
+            ):
+                findings.append(_finding(
+                    self, path, node,
+                    "reading ctx.round as wall time couples the protocol to "
+                    "the lockstep schedule; signal completion with acks or "
+                    "ctx.schedule_wake (KeepAliveSweepNode is the only "
+                    "whitelisted reader)",
+                ))
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# REG-BACKEND — backend/latency classes stay behind the registry.
+
+_BACKEND_MODULES = frozenset({
+    "repro.congest.engine",
+    "repro.congest.sharded",
+    "repro.congest.asynchronous",
+})
+
+
+class RegBackendRule(Rule):
+    """Flag direct backend / latency-model class imports outside congest.
+
+    Everything outside :mod:`repro.congest` selects backends by *name*
+    through ``engine.get_backend`` / ``resolve_latency_model`` — the same
+    boundary ruff's TID251 enforces for shortcut providers. A direct class
+    import bypasses registration, validation, and the fork-fallback logic.
+    """
+
+    name = "REG-BACKEND"
+    summary = (
+        "direct scheduler-backend / latency-model class import outside "
+        "repro.congest; route through get_backend / resolve_latency_model"
+    )
+
+    def applies_to(self, module: str | None) -> bool:
+        return module is not None and not module.startswith("congest/")
+
+    def check(self, module, tree, path):
+        findings = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module not in _BACKEND_MODULES:
+                    continue
+                for alias in node.names:
+                    if (
+                        alias.name.endswith(("Backend", "Latency"))
+                        or alias.name == "LatencyModel"
+                    ):
+                        findings.append(_finding(
+                            self, path, node,
+                            f"direct import of {alias.name} from "
+                            f"{node.module}; outside repro.congest, select "
+                            "backends via engine.get_backend(name) and "
+                            "latency models via resolve_latency_model",
+                        ))
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in ("repro.congest.sharded",
+                                      "repro.congest.asynchronous"):
+                        findings.append(_finding(
+                            self, path, node,
+                            f"importing {alias.name} outside repro.congest; "
+                            "the registry (engine.get_backend) is the only "
+                            "supported way to reach a backend",
+                        ))
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# PROTO-STATE — node algorithms must not mutate shared state.
+
+_GRAPH_MUTATORS = frozenset({
+    "add_edge", "add_edges_from", "add_weighted_edges_from",
+    "add_node", "add_nodes_from",
+    "remove_edge", "remove_edges_from", "remove_node", "remove_nodes_from",
+    "clear", "clear_edges", "update",
+})
+_SHARED_ROOTS = frozenset({
+    "graph", "net", "network", "fabric",
+    "self.graph", "self.net", "self.network", "self.fabric",
+})
+
+
+class ProtoStateRule(Rule):
+    """Flag shared-state mutation from node-algorithm methods.
+
+    A node may only touch its own attributes and its outbox. Writing
+    ``ctx.*`` corrupts the engine's bookkeeping; mutating the shared graph
+    or fabric mid-run changes the topology under the other nodes' feet (and
+    under the *other workers'* feet on the sharded backend, where each
+    process has its own copy — the mutation would silently diverge).
+    ``__init__`` is exempt: construction runs centrally, before round 0.
+    """
+
+    name = "PROTO-STATE"
+    summary = (
+        "node algorithm mutates engine context (ctx.*) or the shared "
+        "graph/fabric from round code"
+    )
+
+    def applies_to(self, module: str | None) -> bool:
+        return module is not None and (
+            _is_simulator_module(module) or module.startswith("apps/")
+        )
+
+    def check(self, module, tree, path):
+        findings = []
+        for cls in ast.walk(tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            names = [_dotted(base) or "" for base in cls.bases]
+            if not any(
+                name.split(".")[-1].endswith(("NodeAlgorithm", "Node"))
+                for name in names
+            ):
+                continue
+            for item in cls.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if item.name == "__init__":
+                    continue
+                findings.extend(self._scan_method(item, path))
+        return findings
+
+    def _scan_method(self, method: ast.AST, path: str) -> list[Finding]:
+        findings = []
+        for node in ast.walk(method):
+            targets: tuple[ast.AST, ...] = ()
+            if isinstance(node, ast.Assign):
+                targets = tuple(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = (node.target,)
+            elif isinstance(node, ast.Delete):
+                targets = tuple(node.targets)
+            for target in targets:
+                dotted = _dotted(target)
+                if dotted and dotted.startswith(("ctx.", "node_ctx.")):
+                    findings.append(_finding(
+                        self, path, node,
+                        f"writes engine context attribute {dotted}; "
+                        "NodeContext is read-only for node code (the "
+                        "wake-up controls are keep_alive()/schedule_wake())",
+                    ))
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr not in _GRAPH_MUTATORS:
+                    continue
+                root = _dotted(node.func.value)
+                if root and (
+                    root in _SHARED_ROOTS
+                    or any(root.startswith(r + ".") for r in _SHARED_ROOTS)
+                ):
+                    findings.append(_finding(
+                        self, path, node,
+                        f"mutates shared state via {root}."
+                        f"{node.func.attr}(); node algorithms own only "
+                        "their local attributes and their outbox",
+                    ))
+        return findings
+
+
+register_rule(DetRngRule)
+register_rule(DetWallRule)
+register_rule(DetOrderRule)
+register_rule(ProtoRoundRule)
+register_rule(RegBackendRule)
+register_rule(ProtoStateRule)

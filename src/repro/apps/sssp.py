@@ -54,7 +54,6 @@ class _BellmanFordNode(NodeAlgorithm):
         self.distance: int | None = 0 if is_source else None
         self.weights = weights
         self.max_hops = max_hops
-        self.hops_used = 0
         self.improved = is_source
 
     def _announce(self, ctx):
@@ -70,7 +69,13 @@ class _BellmanFordNode(NodeAlgorithm):
         return self._announce(ctx)
 
     def on_round(self, ctx, inbox):
-        if self.max_hops is not None and ctx.round > self.max_hops:
+        # In synchronous Bellman–Ford, round r relaxes exactly the ≤ r-hop
+        # paths, so "h hops" and "h lockstep rounds" are the same quantity —
+        # this is the definition of the hop budget, not a wall-clock
+        # protocol. An ack-driven reformulation would need per-node
+        # (distance, hops) Pareto frontiers to stay exact; see
+        # bellman_ford_sssp's max_hops docs for the limitation.
+        if self.max_hops is not None and ctx.round > self.max_hops:  # repro: allow[PROTO-ROUND] max_hops is defined as a lockstep-round horizon (rounds = hops in synchronous Bellman–Ford); see comment above
             return {}
         for sender, payload in inbox.items():
             weight = self.weights[canonical_edge(self.node, sender)]
@@ -100,7 +105,14 @@ def bellman_ford_sssp(
         graph: connected graph.
         weights: nonnegative integer weights (default 1).
         max_hops: if set, restrict relaxations to ``max_hops`` rounds —
-            distances become exact over ≤ ``max_hops``-hop paths.
+            distances become exact over ≤ ``max_hops``-hop paths. The
+            budget is *defined* in lockstep rounds (synchronous
+            Bellman–Ford relaxes exactly the ≤ r-hop paths by round r),
+            which is why the node legitimately reads ``ctx.round`` — the
+            one suppressed ``PROTO-ROUND`` site in the library. Exact on
+            every lockstep-equivalent backend; under a non-uniform async
+            latency model the cutoff is in virtual time, bounding hops
+            only loosely.
 
     Returns:
         ``(distances, stats)``; unreachable-within-budget nodes map to None.

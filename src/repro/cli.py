@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Four commands cover the common workflows without writing any code:
+Five commands cover the common workflows without writing any code:
 
 * ``quality`` — generate a graph family, obtain a shortcut from any
   registered :mod:`repro.core.providers` provider (``--provider``), print
@@ -11,7 +11,10 @@ Four commands cover the common workflows without writing any code:
 * ``mst`` — run the distributed MST on a family, the selected provider vs
   the baseline arm, with measured rounds;
 * ``certify`` — run the certifying provider and print the attempt ledger
-  plus the dense-minor witness, if any.
+  plus the dense-minor witness, if any;
+* ``lint`` — the CONGEST determinism/protocol static analyzer
+  (:mod:`repro.analysis`): nonzero exit on findings, ``--format github``
+  for CI annotations, ``--select`` for a rule subset.
 
 ``quality``, ``mst``, and ``certify`` share the unified ``--provider``
 flag; ``mst`` keeps ``--construction`` as the legacy alias.
@@ -273,6 +276,44 @@ def _cmd_certify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze_paths, format_findings, rule_table
+
+    if args.list_rules:
+        for name, summary in rule_table():
+            print(f"{name:12s} {summary}")
+        return 0
+    select = None
+    if args.select:
+        select = tuple(
+            name.strip() for name in args.select.split(",") if name.strip()
+        )
+        if not select:
+            print("repro lint: --select names no rules", file=sys.stderr)
+            return 2
+    try:
+        findings, file_count = analyze_paths(args.paths, select=select)
+    except (ValueError, FileNotFoundError) as exc:
+        # Unknown rule names and missing paths are usage errors, reported
+        # with the registry/path in the message (the compare_bench.py
+        # graceful-failure convention): exit 2, distinct from findings.
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if findings:
+        print(format_findings(findings, args.format))
+        if args.format != "json":
+            print(
+                f"repro lint: {len(findings)} finding(s) in "
+                f"{file_count} file(s) scanned"
+            )
+        return 1
+    if args.format == "json":
+        print(format_findings([], "json"))
+    else:
+        print(f"repro lint: clean ({file_count} file(s) scanned)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -315,6 +356,27 @@ def main(argv: list[str] | None = None) -> int:
     certify.add_argument("--parts", type=int, default=None)
     certify.add_argument("--initial-delta", type=float, default=0.25)
     certify.set_defaults(func=_cmd_certify)
+
+    lint = subparsers.add_parser(
+        "lint", help="CONGEST determinism/protocol static analysis"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    lint.add_argument(
+        "--format", default="text", choices=("text", "json", "github"),
+        help="output format (github emits ::error workflow annotations)",
+    )
+    lint.add_argument(
+        "--select", default=None,
+        help="comma-separated rule names (default: every registered rule)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", dest="list_rules",
+        help="print the rule table and exit",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -26,6 +26,13 @@ Two invariants make backend equivalence possible:
   graph's node order, so each inbox's insertion order (observable through
   dict iteration) is sender-index order under every backend.
 
+These invariants are mechanically enforced twice over: statically by
+``repro lint`` (:mod:`repro.analysis`) and — for the spurious-wake
+conformance contract of :meth:`NodeContext.schedule_wake` — dynamically by
+the opt-in runtime sanitizer (``SyncNetwork(..., sanitize=True)`` or
+``REPRO_SANITIZE=1``), which wraps every empty-inbox pre-readiness
+activation on the degrade backends in :func:`checked_spurious_wake`.
+
 Backends register themselves here (:func:`register_backend`), mirroring
 the :mod:`repro.core.providers` registry: an unknown scheduler name fails
 with a message listing every registered backend, uniformly at every API
@@ -54,6 +61,7 @@ __all__ = [
     "register_backend",
     "get_backend",
     "available_schedulers",
+    "checked_spurious_wake",
 ]
 
 # Scheduler-backend registry; backends self-register at import time (the
@@ -266,6 +274,63 @@ class MessageFabric:
         return new_times
 
 
+def _state_fingerprint(algorithm) -> str | None:
+    """A cheap before/after fingerprint of an algorithm's own state.
+
+    ``repr`` over ``vars()`` catches any attribute rebinding and most
+    container mutations; a mutation that preserves the repr (or state
+    hidden behind ``__slots__``) escapes — acceptable for a sanitizer
+    whose static twin (`repro lint` PROTO-STATE) covers the writes.
+    """
+    state = getattr(algorithm, "__dict__", None)
+    if state is None:
+        return None
+    return repr(state)
+
+
+def checked_spurious_wake(algorithm, ctx, activate, node, round_no: int):
+    """Run a spurious wake under the conformance contract, or raise.
+
+    The degrade backends (``dense``, ``sharded``) wake nodes with an empty
+    inbox before their readiness condition — rounds the timer-native
+    backends never execute. The :meth:`NodeContext.schedule_wake` contract
+    makes that observably harmless by requiring such an activation to be a
+    strict no-op; this wrapper (the runtime-sanitizer mode,
+    ``SyncNetwork(..., sanitize=True)`` or ``REPRO_SANITIZE=1``) checks it
+    dynamically: no sends, no ``ctx.rng`` draws, no state change, no
+    keep-alive latch, no timer re-arm.
+
+    Raises:
+        CongestViolation: naming the node, round, and every violated
+            clause — the exact divergence that would otherwise surface as
+            a cross-backend byte-equivalence failure far from its cause.
+    """
+    state_before = _state_fingerprint(algorithm)
+    rng_before = ctx.rng.getstate()
+    wake_before = ctx._wake_at
+    outbox = activate() or {}
+    problems = []
+    if outbox:
+        problems.append(f"sent {len(outbox)} message(s)")
+    if ctx.rng.getstate() != rng_before:
+        problems.append("drew from ctx.rng")
+    if _state_fingerprint(algorithm) != state_before:
+        problems.append("changed its state")
+    if ctx._keep_alive:
+        problems.append("latched keep_alive")
+    if ctx._wake_at != wake_before:
+        problems.append("armed a new wake-up timer")
+    if problems:
+        raise CongestViolation(
+            f"spurious-wake contract violation at node {node} "
+            f"(round {round_no}): woken with an empty inbox before its "
+            f"readiness condition, the node " + ", ".join(problems) + "; "
+            "conforming algorithms treat such wakes as strict no-ops (see "
+            "NodeContext.schedule_wake and repro.congest.node)"
+        )
+    return outbox
+
+
 class SchedulerBackend:
     """One activation strategy for executing node algorithms.
 
@@ -444,6 +509,7 @@ class DenseBackend(_InProcessBackend):
         max_rounds, raise_on_timeout,
     ) -> None:
         nodes = net._nodes
+        sanitize = getattr(net, "sanitize", False)
         active |= {v for v in nodes if contexts[v]._wake_at is not None}
         round_no = 0
         while active:
@@ -461,10 +527,24 @@ class DenseBackend(_InProcessBackend):
             for v in nodes:
                 ctx = contexts[v]
                 ctx.round = round_no
+                latched_prev = ctx._keep_alive
                 ctx._keep_alive = False
-                if ctx._wake_at is not None and ctx._wake_at <= round_no:
+                timer_fired = ctx._wake_at is not None and ctx._wake_at <= round_no
+                if timer_fired:
                     ctx._wake_at = None  # the timer fires with this round
-                outbox = algorithms[v].on_round(ctx, current_inboxes.get(v) or {}) or {}
+                inbox = current_inboxes.get(v) or {}
+                algorithm = algorithms[v]
+                if sanitize and not inbox and not latched_prev and not timer_fired:
+                    # This activation exists only because the dense loop
+                    # wakes everyone: the timer-native backends would skip
+                    # it, so the conformance contract requires a no-op.
+                    outbox = checked_spurious_wake(
+                        algorithm, ctx,
+                        lambda a=algorithm, c=ctx: a.on_round(c, {}),
+                        v, round_no,
+                    )
+                else:
+                    outbox = algorithm.on_round(ctx, inbox) or {}
                 stats.activations += 1
                 if outbox:
                     fabric.deliver(v, outbox, inboxes, active, round_no)

@@ -70,20 +70,25 @@ raises :class:`~repro.util.errors.CongestViolation`.
 from __future__ import annotations
 
 import math
+import os
 import random
 
 import networkx as nx
 
-from repro.congest.asynchronous import AsyncBackend, resolve_latency_model
+# The direct backend-class imports are this module's registry bootstrap
+# (importing the backend modules is what registers them) plus the
+# back-compat BACKENDS map; everywhere else must go through get_backend()
+# — enforced by ruff TID251 and the REG-BACKEND lint rule.
+from repro.congest.asynchronous import AsyncBackend  # noqa: TID251
+from repro.congest.asynchronous import resolve_latency_model
+from repro.congest.engine import DenseBackend, EventBackend  # noqa: TID251
 from repro.congest.engine import (
-    DenseBackend,
-    EventBackend,
     NodeContext,
     available_schedulers,
     get_backend,
 )
 from repro.congest.node import NodeAlgorithm
-from repro.congest.sharded import ShardedBackend
+from repro.congest.sharded import ShardedBackend  # noqa: TID251
 from repro.congest.stats import RoundStats
 from repro.util.errors import GraphStructureError
 from repro.util.rng import ensure_rng
@@ -172,6 +177,19 @@ class SyncNetwork:
             :class:`~repro.congest.asynchronous.LatencyModel` instance;
             ``None`` means uniform (lockstep-equivalent). Rejected for the
             lockstep schedulers.
+        sanitize: the runtime conformance sanitizer — the dynamic twin of
+            ``repro lint``'s static pass. When on, the degrade backends
+            (``dense``, ``sharded``) wrap every *spurious* wake (empty
+            inbox, no keep-alive latch, no due timer) in
+            :func:`~repro.congest.engine.checked_spurious_wake`, raising
+            :class:`~repro.util.errors.CongestViolation` if the activation
+            sends, draws from ``ctx.rng``, changes node state, or latches
+            a wake-up — the contract that keeps backends byte-identical.
+            ``None`` (default) consults the ``REPRO_SANITIZE`` environment
+            variable (any value but ``""``/``"0"`` enables it), so whole
+            test suites can run sanitized without threading the flag. The
+            timer-native backends (``event``, ``async``) never produce
+            spurious wakes, so the flag is a no-op there by construction.
 
     Adjacency, neighbor tuples, and the node index used for deterministic
     activation ordering are precomputed once per :meth:`run` (so graph
@@ -188,10 +206,14 @@ class SyncNetwork:
         scheduler: str = "event",
         workers: int | None = None,
         latency_model: object = None,
+        sanitize: bool | None = None,
     ):
         if graph.number_of_nodes() == 0:
             raise GraphStructureError("cannot build a network on an empty graph")
         validate_scheduler(scheduler, workers=workers, latency_model=latency_model)
+        if sanitize is None:
+            sanitize = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+        self.sanitize = bool(sanitize)
         self.graph = graph
         n = graph.number_of_nodes()
         if bandwidth_bits is None:

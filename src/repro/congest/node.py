@@ -35,6 +35,19 @@ class NodeAlgorithm:
     top-k pipeline) only ever use ``schedule_wake(1)`` to pace a stream of
     sends, for which the two behaviors coincide.
 
+    This conformance contract is mechanically enforced twice over. The
+    *static* half is ``repro lint`` (:mod:`repro.analysis`): the
+    ``DET-RNG``/``DET-ORDER``/``DET-WALL`` rules ban the nondeterminism
+    sources a non-conforming wake would need, and ``PROTO-ROUND``/
+    ``PROTO-STATE`` ban the round-counter and shared-state escapes. The
+    *dynamic* half is the runtime sanitizer
+    (``SyncNetwork(..., sanitize=True)`` or ``REPRO_SANITIZE=1``): the
+    degrade backends wrap every spurious wake in
+    :func:`~repro.congest.engine.checked_spurious_wake`, which raises
+    :class:`~repro.util.errors.CongestViolation` on any send, state
+    change, ``ctx.rng`` draw, or wake-up latch — at the offending node
+    and round, instead of as a byte-equivalence diff far downstream.
+
     Under the event-driven scheduler (the default, see
     :mod:`repro.congest.network`), a passive node with an empty inbox is
     not activated at all — it simply observes nothing, which is

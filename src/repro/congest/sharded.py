@@ -42,11 +42,15 @@ from __future__ import annotations
 import multiprocessing
 import os
 
+# Direct backend-class import allowed here: the event loop is this
+# backend's documented fallback where fork is unavailable (TID251 bans it
+# everywhere outside repro.congest).
+from repro.congest.engine import EventBackend  # noqa: TID251
 from repro.congest.engine import (
-    EventBackend,
     MessageFabric,
     NodeContext,
     SchedulerBackend,
+    checked_spurious_wake,
     register_backend,
 )
 from repro.congest.stats import RoundStats
@@ -193,6 +197,7 @@ def _worker_main(conn, shard_id, my_nodes, shard_of, net, algorithms, run_seed):
     """
     try:
         index = net._index
+        sanitize = getattr(net, "sanitize", False)
         stats = RoundStats()
         fabric = MessageFabric(
             net._neighbor_sets, net.bandwidth_bits, net.enforce_bandwidth, stats
@@ -255,8 +260,13 @@ def _worker_main(conn, shard_id, my_nodes, shard_of, net, algorithms, run_seed):
             for v in current:
                 node_ctx = contexts[v]
                 node_ctx.round = round_no
+                latched_prev = node_ctx._keep_alive
                 node_ctx._keep_alive = False
-                if node_ctx._wake_at is not None and node_ctx._wake_at <= round_no:
+                timer_fired = (
+                    node_ctx._wake_at is not None
+                    and node_ctx._wake_at <= round_no
+                )
+                if timer_fired:
                     node_ctx._wake_at = None  # the timer fires with this wake
                 entries = staged.get(v)
                 if entries:
@@ -264,7 +274,19 @@ def _worker_main(conn, shard_id, my_nodes, shard_of, net, algorithms, run_seed):
                     inbox = {sender: payload for _, sender, payload in entries}
                 else:
                     inbox = {}
-                outbox = algorithms[v].on_wake(node_ctx, inbox) or {}
+                algorithm = algorithms[v]
+                if sanitize and not inbox and not latched_prev and not timer_fired:
+                    # A timer-degrade wake the event backend would never
+                    # run — the conformance contract requires a no-op; a
+                    # violation raised here ships to the parent through
+                    # the normal error pipe.
+                    outbox = checked_spurious_wake(
+                        algorithm, node_ctx,
+                        lambda a=algorithm, c=node_ctx: a.on_wake(c, {}),
+                        v, round_no,
+                    )
+                else:
+                    outbox = algorithm.on_wake(node_ctx, inbox) or {}
                 stats.activations += 1
                 if outbox:
                     stage(v, outbox, round_no, remote_out)
