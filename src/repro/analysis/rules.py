@@ -307,7 +307,7 @@ _ORDER_SAFE_REDUCTIONS = frozenset({
 _SET_METHODS = frozenset({
     "union", "intersection", "difference", "symmetric_difference", "copy",
 })
-_EMISSION_BASE_SUFFIXES = ("NodeAlgorithm", "Backend", "Node", "Fabric")
+_EMISSION_BASE_SUFFIXES = ("NodeAlgorithm", "Backend", "Node", "Fabric", "Kernel")
 _EMISSION_FUNCTIONS = frozenset({"_worker_main"})
 
 
@@ -376,9 +376,13 @@ def _emission_contexts(tree: ast.Module):
     """Top-level nodes whose bodies feed message emission or delivery.
 
     Classes deriving from ``*NodeAlgorithm`` / ``*Backend`` / ``*Node`` /
-    ``*Fabric`` (plus the fabric itself) and the sharded worker entry
-    point. Module-level glue that only post-processes results is out of
-    scope — a set iterated into a *result* is checked by equality, not by
+    ``*Fabric`` / ``*Kernel`` (plus the fabric itself) and the sharded
+    worker entry point. ``*Kernel`` covers the vectorized backend's
+    columnar companions (``VectorKernel`` subclasses), whose apply/scatter
+    hooks emit whole message batches — a set iterated into an emission
+    array is exactly as order-sensitive as a per-node send loop.
+    Module-level glue that only post-processes results is out of scope —
+    a set iterated into a *result* is checked by equality, not by
     emission order.
     """
     for node in tree.body:
@@ -517,6 +521,7 @@ _BACKEND_MODULES = frozenset({
     "repro.congest.engine",
     "repro.congest.sharded",
     "repro.congest.asynchronous",
+    "repro.congest.vectorized",
 })
 
 
@@ -559,7 +564,8 @@ class RegBackendRule(Rule):
             elif isinstance(node, ast.Import):
                 for alias in node.names:
                     if alias.name in ("repro.congest.sharded",
-                                      "repro.congest.asynchronous"):
+                                      "repro.congest.asynchronous",
+                                      "repro.congest.vectorized"):
                         findings.append(_finding(
                             self, path, node,
                             f"importing {alias.name} outside repro.congest; "

@@ -233,6 +233,10 @@ class AsyncBackend(SchedulerBackend):
 
     name = "async"
 
+    # The one backend that drives a real per-edge-latency clock; see
+    # SchedulerBackend.supports_latency_models.
+    supports_latency_models = True
+
     def execute(self, net, algorithms, run_seed, max_rounds, raise_on_timeout):
         model = resolve_latency_model(getattr(net, "latency_model", None))
         latencies = model.build(net.graph, run_seed)

@@ -59,6 +59,7 @@ __all__ = [
     "EventBackend",
     "DenseBackend",
     "register_backend",
+    "register_unavailable_backend",
     "get_backend",
     "available_schedulers",
     "checked_spurious_wake",
@@ -67,6 +68,13 @@ __all__ = [
 # Scheduler-backend registry; backends self-register at import time (the
 # out-of-module backends when repro.congest.network imports them).
 _BACKENDS: dict[str, type["SchedulerBackend"]] = {}
+
+# Backends whose module imported but whose optional dependency is missing:
+# name -> install hint. Not listed by available_schedulers() (nothing can
+# run them), but get_backend() turns the generic unknown-name error into
+# the hint, so `scheduler="vectorized"` without numpy says how to fix it
+# instead of looking like a typo.
+_UNAVAILABLE: dict[str, str] = {}
 
 
 def register_backend(
@@ -81,6 +89,18 @@ def register_backend(
     if backend.name in _BACKENDS and not replace_existing:
         raise ValueError(f"scheduler backend {backend.name!r} is already registered")
     _BACKENDS[backend.name] = backend
+    _UNAVAILABLE.pop(backend.name, None)
+
+
+def register_unavailable_backend(name: str, hint: str) -> None:
+    """Record a backend that exists but cannot run (missing optional dep).
+
+    ``hint`` is the remedy shown by :func:`get_backend` — e.g. the
+    ``pip install 'repro[vectorized]'`` line for the numpy-backed
+    vectorized backend.
+    """
+    if name not in _BACKENDS:
+        _UNAVAILABLE[name] = hint
 
 
 def get_backend(name: str) -> type["SchedulerBackend"]:
@@ -88,11 +108,19 @@ def get_backend(name: str) -> type["SchedulerBackend"]:
 
     Raises:
         ValueError: unknown name (the message lists the registry, matching
-            the :mod:`repro.core.providers` error convention).
+            the :mod:`repro.core.providers` error convention) or a known
+            name whose optional dependency is missing (the message carries
+            the install hint instead).
     """
     try:
         return _BACKENDS[name]
     except KeyError:
+        hint = _UNAVAILABLE.get(name)
+        if hint is not None:
+            raise ValueError(
+                f"scheduler {name!r} is unavailable: {hint}; "
+                f"registered schedulers: {', '.join(available_schedulers())}"
+            ) from None
         raise ValueError(
             f"unknown scheduler {name!r}; registered schedulers: "
             f"{', '.join(available_schedulers())}"
@@ -343,6 +371,13 @@ class SchedulerBackend:
     """
 
     name = "abstract"
+
+    # Capability flag: whether this backend honors per-edge latency models
+    # (``SyncNetwork(latency_model=...)``). ``validate_scheduler`` rejects a
+    # latency model on any backend that leaves this False — driving the
+    # check from the class, not a hard-coded name list, so a new backend
+    # cannot silently accept a model it ignores.
+    supports_latency_models = False
 
     def execute(
         self,

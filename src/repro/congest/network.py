@@ -18,7 +18,7 @@ algorithm coverage, the run seed — and delegates *execution* to a
 per-message rules (outbox validation, bandwidth enforcement, inbox staging,
 :class:`~repro.congest.stats.RoundStats` accounting, the quiescence rule)
 live in one place, :class:`~repro.congest.engine.MessageFabric`, so every
-backend enforces them identically. Three backends are registered:
+backend enforces them identically. Five backends are registered:
 
 * ``"event"`` (default) — the event-driven *active-set* scheduler
   (:class:`~repro.congest.engine.EventBackend`). Per round, only nodes
@@ -51,6 +51,13 @@ backend enforces them identically. Three backends are registered:
   model it is lockstep-equivalent (byte-identical to ``event``); under a
   non-uniform model it reports the ``RoundStats`` wall-model dimension
   (``virtual_time``, per-node ``completion_times``).
+* ``"vectorized"`` — the columnar numpy backend
+  (:class:`~repro.congest.vectorized.VectorizedBackend`, requires the
+  ``repro[vectorized]`` extra): whole rounds execute as gather/apply/
+  scatter array passes over a cached CSR adjacency for algorithms that
+  declare a :class:`~repro.congest.vectorized.VectorKernel`; runs whose
+  algorithms have no kernel are transparently delegated to ``event``
+  (recorded in ``stats.notes``), so the flag is always safe to pass.
 
 The backend contract is strict: results, round counts, message counts,
 bits, and per-edge congestion must be byte-identical across backends for
@@ -75,20 +82,22 @@ import random
 
 import networkx as nx
 
-# The direct backend-class imports are this module's registry bootstrap
-# (importing the backend modules is what registers them) plus the
-# back-compat BACKENDS map; everywhere else must go through get_backend()
-# — enforced by ruff TID251 and the REG-BACKEND lint rule.
-from repro.congest.asynchronous import AsyncBackend  # noqa: TID251
+# Importing the backend modules is this module's registry bootstrap:
+# repro.congest.engine registers event/dense at import, and the bare
+# module imports below register the out-of-module backends (sharded,
+# async via resolve_latency_model's home, vectorized — which registers
+# itself as *unavailable* when numpy is missing). Backend classes are
+# never named here; everything goes through get_backend() — enforced by
+# ruff TID251 and the REG-BACKEND lint rule.
+import repro.congest.sharded
+import repro.congest.vectorized
 from repro.congest.asynchronous import resolve_latency_model
-from repro.congest.engine import DenseBackend, EventBackend  # noqa: TID251
 from repro.congest.engine import (
     NodeContext,
     available_schedulers,
     get_backend,
 )
 from repro.congest.node import NodeAlgorithm
-from repro.congest.sharded import ShardedBackend  # noqa: TID251
 from repro.congest.stats import RoundStats
 from repro.util.errors import GraphStructureError
 from repro.util.rng import ensure_rng
@@ -110,11 +119,7 @@ BANDWIDTH_FACTOR = 8
 # Back-compat views of the engine registry (importing the backend modules
 # above is what populates it); SCHEDULERS is the stable name tuple used in
 # argument validation.
-BACKENDS = {
-    name: get_backend(name)
-    for name in (EventBackend.name, DenseBackend.name, ShardedBackend.name,
-                 AsyncBackend.name)
-}
+BACKENDS = {name: get_backend(name) for name in available_schedulers()}
 SCHEDULERS = tuple(available_schedulers())
 
 
@@ -132,24 +137,34 @@ def validate_scheduler(
     worse, being silently ignored on a code path that never builds a
     network. ``workers`` may be ``None`` (backend default) or a positive
     process count; ``latency_model`` (a registered name or a
-    :class:`~repro.congest.asynchronous.LatencyModel` instance) requires
-    ``scheduler="async"`` — the lockstep backends cannot honor per-edge
-    latencies, so accepting one there would silently drop it.
+    :class:`~repro.congest.asynchronous.LatencyModel` instance) requires a
+    backend whose ``supports_latency_models`` capability flag is set
+    (currently only ``"async"``) — the others cannot honor per-edge
+    latencies, so accepting one there would silently drop it. Driving the
+    rejection from the class flag instead of a name list means a newly
+    registered backend rejects latency models by default rather than
+    silently ignoring them.
     """
-    if scheduler not in available_schedulers():
-        # Mirrors get_backend()'s message (and the provider registry's):
-        # unknown names list the registry, uniformly at every boundary.
-        raise exc(
-            f"unknown scheduler {scheduler!r}; registered schedulers: "
-            f"{', '.join(available_schedulers())}"
-        )
+    try:
+        backend = get_backend(scheduler)
+    except ValueError as err:
+        # get_backend's message already mirrors the provider registry's
+        # convention (unknown names list the registry; unavailable names
+        # carry the install hint), uniformly at every boundary.
+        raise exc(str(err)) from None
     if workers is not None and workers < 1:
         raise exc(f"workers must be a positive process count, got {workers}")
     if latency_model is not None:
-        if scheduler != AsyncBackend.name:
+        if not backend.supports_latency_models:
+            capable = ", ".join(
+                f"scheduler={name!r}"
+                for name in available_schedulers()
+                if get_backend(name).supports_latency_models
+            )
             raise exc(
-                f"latency_model requires scheduler='async'; "
-                f"the {scheduler!r} scheduler is lockstep and would ignore it"
+                f"latency_model requires {capable}; the {scheduler!r} "
+                f"scheduler cannot honor per-edge latencies and would "
+                f"ignore it"
             )
         resolve_latency_model(latency_model, exc)
 
@@ -166,9 +181,10 @@ class SyncNetwork:
         rng: seed or generator; one value is drawn per run to derive every
             node's ``ctx.rng`` stream from ``(run_seed, node_index)``.
         scheduler: ``"event"`` (active-set, default), ``"dense"``
-            (lockstep reference), ``"sharded"`` (multi-process), or
-            ``"async"`` (latency-realistic asyncio); see the module
-            docstring.
+            (lockstep reference), ``"sharded"`` (multi-process),
+            ``"async"`` (latency-realistic asyncio), or ``"vectorized"``
+            (columnar numpy, requires the ``repro[vectorized]`` extra);
+            see the module docstring.
         workers: process count for the sharded backend (default:
             ``min(4, cpu count)``); ignored by the in-process backends.
         latency_model: per-edge latency assignment for the async backend —
@@ -192,9 +208,11 @@ class SyncNetwork:
             spurious wakes, so the flag is a no-op there by construction.
 
     Adjacency, neighbor tuples, and the node index used for deterministic
-    activation ordering are precomputed once per :meth:`run` (so graph
-    mutations between runs are honored, as before), and the per-round loops
-    do no graph lookups or per-round dict rebuilding.
+    activation ordering are snapshotted once per :meth:`run` (so graph
+    mutations between runs are honored, as before) and built lazily on
+    first access; the per-round loops do no graph lookups or per-round
+    dict rebuilding, and a pure-kernel vectorized run never materializes
+    the per-node adjacency dicts at all.
     """
 
     def __init__(
@@ -227,14 +245,43 @@ class SyncNetwork:
         self._build_tables()
 
     def _build_tables(self) -> None:
-        """Snapshot the topology into flat lookup tables for the hot loops."""
-        graph = self.graph
-        self._nodes: tuple = tuple(graph.nodes())
-        self._index: dict = {v: i for i, v in enumerate(self._nodes)}
-        self._neighbors: dict = {v: tuple(graph.neighbors(v)) for v in self._nodes}
-        self._neighbor_sets: dict = {
-            v: frozenset(nbrs) for v, nbrs in self._neighbors.items()
-        }
+        """Snapshot the topology for the hot loops; adjacency stays lazy.
+
+        ``_nodes`` is materialized eagerly (every backend and the
+        coverage check need it); the ``_index``/``_neighbors``/
+        ``_neighbor_sets`` dicts are built on first access and
+        invalidated here, per run. The interpreted backends touch them
+        immediately, so nothing changes for them — but a pure-kernel run
+        on the vectorized backend never does, and skipping three O(n + m)
+        dict builds is a measurable slice of its wall-clock budget.
+        """
+        self._nodes: tuple = tuple(self.graph.nodes())
+        self._index_cache: dict | None = None
+        self._adjacency_cache: tuple[dict, dict] | None = None
+
+    @property
+    def _index(self) -> dict:
+        if self._index_cache is None:
+            self._index_cache = {v: i for i, v in enumerate(self._nodes)}
+        return self._index_cache
+
+    @property
+    def _neighbors(self) -> dict:
+        return self._adjacency()[0]
+
+    @property
+    def _neighbor_sets(self) -> dict:
+        return self._adjacency()[1]
+
+    def _adjacency(self) -> tuple[dict, dict]:
+        if self._adjacency_cache is None:
+            graph = self.graph
+            neighbors = {v: tuple(graph.neighbors(v)) for v in self._nodes}
+            self._adjacency_cache = (
+                neighbors,
+                {v: frozenset(nbrs) for v, nbrs in neighbors.items()},
+            )
+        return self._adjacency_cache
 
     def run(
         self,

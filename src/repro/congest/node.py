@@ -62,6 +62,14 @@ class NodeAlgorithm:
     branches can be dropped.
     """
 
+    #: Columnar companion kernel for the vectorized scheduler backend, or
+    #: ``None`` (the default) for interpreted-only algorithms. Point this
+    #: at a :class:`repro.congest.vectorized.VectorKernel` subclass to opt
+    #: the algorithm into whole-round array execution; a run containing
+    #: any algorithm class that leaves it ``None`` is transparently
+    #: delegated to the ``event`` backend (recorded in ``stats.notes``).
+    vector_kernel = None
+
     def on_start(self, ctx: "NodeContext") -> dict[int, object]:
         """Called once before round 1; returns the initial outbox."""
         return {}

@@ -16,13 +16,16 @@ import networkx as nx
 from repro.congest.network import SyncNetwork
 from repro.congest.node import NodeAlgorithm
 from repro.congest.stats import RoundStats
+from repro.congest.vectorized import VectorKernel
 from repro.graphs.trees import RootedTree
+from repro.util.bitsize import payload_bits
 from repro.util.errors import GraphStructureError
 
-__all__ = ["distributed_bfs", "BfsNode"]
+__all__ = ["distributed_bfs", "BfsNode", "BfsVectorKernel"]
 
 _ADV = 0  # ("adv" message tag, depth)
 _JOIN = 1  # join message tag
+_JOIN_BITS = payload_bits((_JOIN,))
 
 
 class BfsNode(NodeAlgorithm):
@@ -67,6 +70,136 @@ class BfsNode(NodeAlgorithm):
             "depth": self.depth,
             "children": tuple(sorted(self.children)),
         }
+
+
+def _materialize_adv(tag, value):
+    return (_ADV, value)
+
+
+def _materialize_join(tag, value):
+    return (_JOIN,)
+
+
+class BfsVectorKernel(VectorKernel):
+    """Columnar BFS flooding: one apply/scatter pass advances the wave.
+
+    ``apply`` adopts, for every unvisited receiver at once, the
+    advertiser with the smallest node id — ``min(advertisers)`` over
+    ``(sender, depth)`` pairs is decided by the sender id alone (ids are
+    unique within an inbox), reproduced here as a ``(receiver, id)``
+    lexsort + first-per-group. ``scatter`` emits the JOIN to each parent
+    and re-advertises to the remaining neighbors as two flat batches.
+    """
+
+    dtypes = {"depth": "int64", "parent": "int64"}
+
+    @classmethod
+    def accepts(cls, csr, members, algorithms):
+        # The advertiser tie-break compares node *ids*; without an int64
+        # id column there is nothing to lexsort by.
+        return csr.ids is not None
+
+    def setup(self, ops, claimed, algorithms):
+        np = ops.np
+        self.claimed = claimed
+        cols = ops.columns(self.dtypes)
+        self.depth = cols["depth"]
+        self.depth.fill(-1)
+        self.parent = cols["parent"]
+        self.parent.fill(-1)
+        nodes = ops.csr.nodes
+        self.roots = np.array(
+            [i for i in claimed.tolist() if algorithms[nodes[i]].is_root],
+            dtype=np.int64,
+        )
+        self.depth[self.roots] = 0
+        self.join_src: list = []  # per-round JOIN (src, dst) index arrays
+        self.join_dst: list = []
+
+    def on_start(self, ops):
+        src, dst = ops.expand(self.roots)
+        ops.emit(
+            src, dst, tag=_ADV, value=0, bits=payload_bits((_ADV, 0)),
+            materialize=_materialize_adv,
+        )
+
+    def apply(self, ops, inbox):
+        np = ops.np
+        joins = inbox.tag == _JOIN
+        if joins.any():
+            self.join_src.append(inbox.src[joins])
+            self.join_dst.append(inbox.dst[joins])
+        adv = (inbox.tag == _ADV) & (self.depth[inbox.dst] < 0)
+        if not adv.any():
+            return None
+        src, dst, depth = inbox.src[adv], inbox.dst[adv], inbox.value[adv]
+        order = np.lexsort((ops.ids[src], dst))
+        sorted_dst = dst[order]
+        heads = np.empty(sorted_dst.size, dtype=bool)
+        heads[0] = True
+        np.not_equal(sorted_dst[1:], sorted_dst[:-1], out=heads[1:])
+        first = np.flatnonzero(heads)
+        newly = sorted_dst[first]
+        self.parent[newly] = src[order][first]
+        self.depth[newly] = depth[order][first] + 1
+        return newly
+
+    def scatter(self, ops, ready):
+        ops.emit(
+            ready, self.parent[ready], tag=_JOIN, value=0,
+            bits=_JOIN_BITS, materialize=_materialize_join,
+        )
+        src, dst = ops.expand(ready)
+        keep = dst != self.parent[src]
+        src, dst = src[keep], dst[keep]
+        # Synchronous flooding: every node adopted this round shares one
+        # depth, so the per-message ADV size is a single scalar.
+        depth_val = int(self.depth[ready[0]])
+        ops.emit(
+            src, dst, tag=_ADV, value=depth_val,
+            bits=payload_bits((_ADV, depth_val)),
+            materialize=_materialize_adv,
+        )
+
+    def fill_results(self, ops, results):
+        np = ops.np
+        nodes = ops.csr.nodes
+        n = ops.n
+        # Children lists, vectorized: sort all JOINs by (receiver, child
+        # id) and slice each receiver's already-sorted segment.
+        child_lo = child_hi = None
+        if self.join_src:
+            all_src = np.concatenate(self.join_src)
+            all_dst = np.concatenate(self.join_dst)
+            child_ids = ops.ids[all_src]
+            order = np.lexsort((child_ids, all_dst))
+            sorted_dst = all_dst[order]
+            sorted_children = child_ids[order].tolist()
+            span = np.arange(n, dtype=np.int64)
+            child_lo = np.searchsorted(sorted_dst, span, side="left").tolist()
+            child_hi = np.searchsorted(sorted_dst, span, side="right").tolist()
+        claimed = self.claimed.tolist()
+        depths = [d if d >= 0 else None for d in self.depth.tolist()]
+        parents = [nodes[p] if p >= 0 else None for p in self.parent.tolist()]
+        if child_lo is not None:
+            kids = [tuple(sorted_children[lo:hi])
+                    for lo, hi in zip(child_lo, child_hi)]
+        else:
+            kids = [()] * n
+        if len(claimed) == n:
+            results.update(zip(nodes, [
+                {"parent": p, "depth": d, "children": k}
+                for p, d, k in zip(parents, depths, kids)
+            ]))
+        else:
+            results.update(zip(
+                (nodes[i] for i in claimed),
+                [{"parent": parents[i], "depth": depths[i],
+                  "children": kids[i]} for i in claimed],
+            ))
+
+
+BfsNode.vector_kernel = BfsVectorKernel
 
 
 def distributed_bfs(

@@ -26,7 +26,9 @@ import networkx as nx
 from repro.congest.network import SyncNetwork
 from repro.congest.node import NodeAlgorithm
 from repro.congest.stats import RoundStats
+from repro.congest.vectorized import VectorKernel
 from repro.graphs.trees import RootedTree
+from repro.util.bitsize import payload_bits
 
 __all__ = ["tree_broadcast", "tree_aggregate"]
 
@@ -60,6 +62,65 @@ class _BroadcastNode(NodeAlgorithm):
 
     def result(self):
         return self.value
+
+
+class _BroadcastVectorKernel(VectorKernel):
+    """Columnar tree broadcast: the wave walks a child-CSR level by level.
+
+    All messages carry the one broadcast value, so the columns reduce to a
+    ``has_value`` flag and the payload rides as a shared object — exactly
+    the adoption rule of ``_BroadcastNode.on_wake``.
+    """
+
+    dtypes = {"has_value": "bool"}
+
+    def setup(self, ops, claimed, algorithms):
+        np = ops.np
+        nodes = ops.csr.nodes
+        index = ops.csr.index
+        self.claimed = claimed
+        self.has_value = ops.columns(self.dtypes)["has_value"]
+        counts = np.zeros(ops.n + 1, dtype=np.int64)
+        child_rows: list = []
+        roots = []
+        self.value = None
+        for i in claimed.tolist():
+            alg = algorithms[nodes[i]]
+            row = [index[c] for c in alg.children]
+            child_rows.extend(row)
+            counts[i + 1] = len(row)
+            if alg.is_root:
+                roots.append(i)
+                self.value = alg.value
+        self.childptr = np.cumsum(counts)
+        self.childidx = np.array(child_rows, dtype=np.int64)
+        self.roots = np.array(roots, dtype=np.int64)
+        self.has_value[self.roots] = True
+        self.bits = payload_bits(self.value)
+
+    def _forward(self, ops, sources):
+        src, dst = ops.expand(sources, self.childptr, self.childidx)
+        ops.emit(src, dst, payload=self.value, bits=self.bits)
+
+    def on_start(self, ops):
+        self._forward(ops, self.roots)
+
+    def apply(self, ops, inbox):
+        receivers = inbox.receivers
+        new = receivers[~self.has_value[receivers]]
+        self.has_value[new] = True
+        return new
+
+    def scatter(self, ops, ready):
+        self._forward(ops, ready)
+
+    def fill_results(self, ops, results):
+        nodes = ops.csr.nodes
+        for i in self.claimed.tolist():
+            results[nodes[i]] = self.value if self.has_value[i] else None
+
+
+_BroadcastNode.vector_kernel = _BroadcastVectorKernel
 
 
 def tree_broadcast(
@@ -119,6 +180,77 @@ class _AggregateNode(NodeAlgorithm):
 
     def result(self):
         return self.accumulator
+
+
+class _AggregateVectorKernel(VectorKernel):
+    """Columnar convergecast: countdown columns, object-array payloads.
+
+    ``pending`` child counts live in an int column (each child reports
+    exactly once, so the interpreted ``pending.discard(sender)`` is a
+    decrement here); accumulators stay a Python object list folded with
+    the user's ``combine`` in ``(receiver, sender-index)`` order — the
+    inbox order every interpreted backend materializes.
+    """
+
+    dtypes = {"pending": "int64", "sent": "bool"}
+
+    def setup(self, ops, claimed, algorithms):
+        np = ops.np
+        nodes = ops.csr.nodes
+        index = ops.csr.index
+        self.claimed = claimed
+        cols = ops.columns(self.dtypes)
+        self.pending = cols["pending"]
+        self.sent = cols["sent"]
+        self.parent = np.full(ops.n, -1, dtype=np.int64)
+        self.acc: list = [None] * ops.n
+        self.combine = None
+        for i in claimed.tolist():
+            alg = algorithms[nodes[i]]
+            if alg.parent is not None:
+                self.parent[i] = index[alg.parent]
+            self.pending[i] = len(alg.pending)
+            self.acc[i] = alg.accumulator
+            self.combine = alg.combine
+
+    def _report(self, ops, ready):
+        # Mirrors _ready_outbox: latch sent (the root included), then
+        # report each non-root accumulator to its parent.
+        np = ops.np
+        self.sent[ready] = True
+        senders = ready[self.parent[ready] >= 0]
+        if senders.size == 0:
+            return
+        objs = np.empty(senders.size, dtype=object)
+        bits = np.empty(senders.size, dtype=np.int64)
+        for j, i in enumerate(senders.tolist()):
+            objs[j] = self.acc[i]
+            bits[j] = payload_bits(self.acc[i])
+        ops.emit(senders, self.parent[senders], objs=objs, bits=bits)
+
+    def on_start(self, ops):
+        ready = self.claimed[self.pending[self.claimed] == 0]
+        self._report(ops, ready)
+
+    def apply(self, ops, inbox):
+        combine = self.combine
+        acc = self.acc
+        for d, payload in zip(inbox.dst.tolist(), inbox.objs.tolist()):
+            acc[d] = combine(acc[d], payload)
+        receivers = inbox.receivers
+        self.pending[receivers] -= inbox.counts
+        return receivers[(self.pending[receivers] == 0) & ~self.sent[receivers]]
+
+    def scatter(self, ops, ready):
+        self._report(ops, ready)
+
+    def fill_results(self, ops, results):
+        nodes = ops.csr.nodes
+        for i in self.claimed.tolist():
+            results[nodes[i]] = self.acc[i]
+
+
+_AggregateNode.vector_kernel = _AggregateVectorKernel
 
 
 def tree_aggregate(

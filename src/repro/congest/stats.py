@@ -44,6 +44,13 @@ class RoundStats:
             constituent activation is done).
         phases: optional named breakdown (phase name -> RoundStats); the
             top-level numbers are always the totals.
+        notes: provenance annotations, e.g. the vectorized backend's
+            record that a run was delegated to the ``event`` backend
+            (its documented fallback for algorithms without a
+            :class:`~repro.congest.vectorized.VectorKernel`). Never part
+            of the cross-backend equivalence projection — notes describe
+            *how* a run executed, not what it cost. Composition is an
+            order-preserving deduplicating union.
     """
 
     rounds: int = 0
@@ -55,6 +62,7 @@ class RoundStats:
     virtual_time: int = 0
     completion_times: dict[int, int] = field(default_factory=dict)
     phases: dict[str, "RoundStats"] = field(default_factory=dict)
+    notes: tuple[str, ...] = ()
 
     @property
     def max_congestion(self) -> int:
@@ -100,6 +108,7 @@ class RoundStats:
                 self.completion_times, other.completion_times
             ),
             phases=phases,
+            notes=_merge_notes(self.notes, other.notes),
         )
 
     def merge(self, other: "RoundStats") -> "RoundStats":
@@ -129,6 +138,7 @@ class RoundStats:
                 self.completion_times, other.completion_times
             ),
             phases=phases,
+            notes=_merge_notes(self.notes, other.notes),
         )
 
     def copy(self) -> "RoundStats":
@@ -148,6 +158,7 @@ class RoundStats:
             virtual_time=self.virtual_time,
             completion_times=dict(self.completion_times),
             phases={name: stats.copy() for name, stats in self.phases.items()},
+            notes=self.notes,
         )
 
     def add_phase(self, name: str, stats: "RoundStats") -> None:
@@ -171,6 +182,7 @@ class RoundStats:
         self.completion_times = _merge_max(
             self.completion_times, stats.completion_times
         )
+        self.notes = _merge_notes(self.notes, stats.notes)
 
     def summary(self) -> str:
         """One-line human-readable summary."""
@@ -195,6 +207,19 @@ def _merge_counts(left: dict, right: dict) -> dict:
     for key, count in right.items():
         merged[key] = merged.get(key, 0) + count
     return merged
+
+
+def _merge_notes(
+    left: tuple[str, ...], right: tuple[str, ...]
+) -> tuple[str, ...]:
+    """Order-preserving deduplicating union of two note tuples."""
+    if not right:
+        return left
+    merged = list(left)
+    for note in right:
+        if note not in merged:
+            merged.append(note)
+    return tuple(merged)
 
 
 def _merge_max(left: dict, right: dict) -> dict:

@@ -8,7 +8,9 @@ nearly every code path.
 
 from __future__ import annotations
 
+import weakref
 from collections.abc import Iterable
+from dataclasses import dataclass
 
 import networkx as nx
 
@@ -20,6 +22,8 @@ __all__ = [
     "require_connected",
     "require_nodes_exist",
     "induces_connected_subgraph",
+    "CSRAdjacency",
+    "graph_csr",
 ]
 
 
@@ -91,3 +95,119 @@ def induces_connected_subgraph(graph: nx.Graph, nodes: Iterable[int]) -> bool:
                     next_frontier.append(w)
         frontier = next_frontier
     return len(seen) == len(node_set)
+
+
+@dataclass(frozen=True)
+class CSRAdjacency:
+    """A graph's adjacency in compressed-sparse-row form, index-space.
+
+    The flat layout the vectorized scheduler backend
+    (:mod:`repro.congest.vectorized`) executes rounds over. Node *indices*
+    are positions in ``nodes`` (the graph's node order — the same order
+    every scheduler backend activates in); each directed edge ``u -> v``
+    owns one *slot* in ``indices``.
+
+    Attributes:
+        nodes: the graph's nodes in graph order (index -> node id).
+        index: node id -> index (the inverse of ``nodes``).
+        indptr: int64 array of length ``n + 1``; node ``i``'s neighbor
+            slots are ``indptr[i]:indptr[i + 1]``.
+        indices: int64 array of length ``2m``; neighbor *indices*, sorted
+            ascending within each row — so a row gather reproduces the
+            sender-index inbox order the interpreted backends stage.
+        ids: int64 array of the node ids themselves, or ``None`` when any
+            label is not a plain int (kernels that compare ids, e.g. the
+            BFS min-advertiser rule, refuse such graphs and the run falls
+            back to the interpreted path).
+        flat_keys: int64 array of length ``2m``, ``src * n + dst`` per
+            slot, strictly increasing — ``searchsorted`` over it maps an
+            ``(src, dst)`` pair to its edge slot (and validates adjacency)
+            without per-message dict lookups.
+    """
+
+    nodes: tuple
+    index: dict
+    indptr: object
+    indices: object
+    ids: object
+    flat_keys: object
+
+    @property
+    def n(self) -> int:
+        return len(self.nodes)
+
+    def slot_pairs(self) -> list:
+        """``(src_id, dst_id)`` per edge slot, built lazily and cached.
+
+        The key tuples of ``RoundStats.edge_messages`` — shared across
+        runs on the same graph so repeated executions do not rebuild
+        ``2m`` tuples each.
+        """
+        pairs = self.__dict__.get("_slot_pairs")
+        if pairs is None:
+            import numpy
+
+            nodes = self.nodes
+            src_of_slot = numpy.repeat(
+                numpy.arange(self.n, dtype=numpy.int64),
+                numpy.diff(self.indptr),
+            )
+            pairs = list(zip(
+                [nodes[i] for i in src_of_slot.tolist()],
+                [nodes[i] for i in self.indices.tolist()],
+            ))
+            object.__setattr__(self, "_slot_pairs", pairs)
+        return pairs
+
+
+# Weakly keyed on the graph object, invalidated by an (n, m) signature —
+# the same idiom as the provider-layer tree/delta caches
+# (repro.core.providers): values hold no reference back to the graph, so
+# entries vanish with it, and a mutated graph misses on the signature.
+_CSR_CACHE: "weakref.WeakKeyDictionary[nx.Graph, tuple]" = weakref.WeakKeyDictionary()
+
+
+def graph_csr(graph: nx.Graph) -> CSRAdjacency:
+    """The memoized :class:`CSRAdjacency` of ``graph``.
+
+    Requires numpy (the vectorized backend's optional dependency).
+
+    Raises:
+        ImportError: when numpy is not installed.
+    """
+    import numpy
+
+    # number_of_edges() iterates every degree through the NodeView layer;
+    # summing the adjacency dict sizes directly is the same count an order
+    # of magnitude cheaper, and this runs on every cache *hit*.
+    adj = graph._adj
+    signature = (len(adj), sum(map(len, adj.values())))
+    cached = _CSR_CACHE.get(graph)
+    if cached is not None and cached[0] == signature:
+        return cached[1]
+    nodes = tuple(graph.nodes())
+    index = {v: i for i, v in enumerate(nodes)}
+    n = len(nodes)
+    indptr = numpy.zeros(n + 1, dtype=numpy.int64)
+    rows = []
+    for i, v in enumerate(nodes):
+        row = sorted(index[w] for w in graph.neighbors(v))
+        rows.extend(row)
+        indptr[i + 1] = indptr[i] + len(row)
+    indices = numpy.array(rows, dtype=numpy.int64) if rows else numpy.zeros(
+        0, dtype=numpy.int64
+    )
+    if all(type(v) is int and abs(v) < 2**31 for v in nodes):
+        ids = numpy.array(nodes, dtype=numpy.int64)
+    else:
+        ids = None
+    src_of_slot = numpy.repeat(
+        numpy.arange(n, dtype=numpy.int64), numpy.diff(indptr)
+    )
+    flat_keys = src_of_slot * n + indices
+    csr = CSRAdjacency(
+        nodes=nodes, index=index, indptr=indptr, indices=indices, ids=ids,
+        flat_keys=flat_keys,
+    )
+    _CSR_CACHE[graph] = (signature, csr)
+    return csr

@@ -20,7 +20,6 @@ from __future__ import annotations
 import random
 
 import networkx as nx
-import numpy as np
 
 from repro.util.errors import GraphStructureError
 from repro.util.rng import ensure_rng
@@ -48,12 +47,14 @@ def random_geometric_graph(
         GraphStructureError: if no connected sample is found within
             ``max_tries`` (radius too small for ``n``).
     """
-    from scipy.spatial import cKDTree  # deferred: scipy import is slow
-
     if n < 2:
         raise GraphStructureError("geometric graph needs at least 2 nodes")
     if radius <= 0:
         raise GraphStructureError("radius must be positive")
+    # Deferred: scipy import is slow, and numpy is optional for the rest
+    # of the library (it ships as the `vectorized` extra).
+    import numpy as np
+    from scipy.spatial import cKDTree
     rng = ensure_rng(rng)
     for _ in range(max_tries):
         seed = rng.randrange(2**31)

@@ -11,7 +11,6 @@ from __future__ import annotations
 import random
 
 import networkx as nx
-import numpy as np
 
 from repro.util.errors import GraphStructureError
 from repro.util.rng import ensure_rng
@@ -91,10 +90,12 @@ def delaunay_graph(n: int, rng: int | random.Random | None = None) -> nx.Graph:
     Raises:
         GraphStructureError: if ``n < 3`` (a triangulation needs 3 points).
     """
-    from scipy.spatial import Delaunay  # deferred: scipy import is slow
-
     if n < 3:
         raise GraphStructureError("Delaunay graph needs at least 3 points")
+    # Deferred: scipy import is slow, and numpy is optional for the rest
+    # of the library (it ships as the `vectorized` extra).
+    import numpy as np
+    from scipy.spatial import Delaunay
     rng = ensure_rng(rng)
     seed = rng.randrange(2**31)
     points = np.random.default_rng(seed).random((n, 2))

@@ -159,6 +159,33 @@ class TestDetOrder:
         )
         assert _rules(source, SIM_PATH) == []
 
+    def test_fails_in_vector_kernel_scatter(self):
+        # *Kernel classes are emission contexts: a scatter that orders
+        # its emission array by set iteration is as hash-dependent as a
+        # per-node send loop.
+        source = (
+            "class WaveVectorKernel(VectorKernel):\n"
+            "    def scatter(self, ops, ready):\n"
+            "        frontier = set(ready.tolist())\n"
+            "        src = [v for v in frontier]\n"
+            "        ops.emit(src, src, bits=1)\n"
+        )
+        assert "DET-ORDER" in _rules(
+            source, "src/repro/congest/vectorized.py"
+        )
+
+    def test_kernel_sorted_and_array_iteration_pass(self):
+        source = (
+            "class WaveVectorKernel(VectorKernel):\n"
+            "    def scatter(self, ops, ready):\n"
+            "        frontier = set(ready.tolist())\n"
+            "        src = sorted(frontier)\n"
+            "        for v in ready.tolist():\n"
+            "            pass\n"
+            "        ops.emit(src, src, bits=1)\n"
+        )
+        assert _rules(source, "src/repro/congest/vectorized.py") == []
+
 
 class TestProtoRound:
     FAIL = (
@@ -224,6 +251,23 @@ class TestRegBackend:
 
     def test_inside_congest_is_exempt(self):
         assert _rules(self.FAIL, "src/repro/congest/network.py") == []
+
+    def test_vectorized_backend_is_registry_guarded(self):
+        assert "REG-BACKEND" in _rules(
+            "from repro.congest.vectorized import VectorizedBackend\n",
+            APP_PATH,
+        )
+        assert "REG-BACKEND" in _rules(
+            "import repro.congest.vectorized\n", APP_PATH
+        )
+
+    def test_vector_kernel_import_passes(self):
+        # Algorithms outside congest/ legitimately subclass VectorKernel
+        # (e.g. the ack sweep's leaf kernel in core/distributed.py); only
+        # the backend class itself stays behind the registry.
+        assert _rules(
+            "from repro.congest.vectorized import VectorKernel\n", APP_PATH
+        ) == []
 
 
 class TestProtoState:

@@ -1,4 +1,4 @@
-"""Tests for the scheduler backends (event-driven, dense, sharded).
+"""Tests for the scheduler backends (dense, event, sharded, async, vectorized).
 
 Two concerns:
 
@@ -180,9 +180,16 @@ def _parents(tree):
 
 # Every backend must match the dense reference byte for byte; the sharded
 # backend runs with 2 worker processes to exercise real cross-shard traffic,
-# and the async backend runs in its lockstep-equivalent (uniform-latency)
-# mode.
+# the async backend runs in its lockstep-equivalent (uniform-latency) mode,
+# and the vectorized backend (present when numpy is installed) executes
+# kernel-backed algorithms columnar — and transparently delegates the
+# kernel-less ones to the event backend, so it belongs in every case here.
 BACKENDS = [("dense", None), ("event", None), ("sharded", 2), ("async", None)]
+try:  # not find_spec: a present-but-broken numpy must also skip the arm
+    import numpy  # noqa: F401
+    BACKENDS.append(("vectorized", None))
+except ImportError:
+    pass
 
 
 class TestSchedulerEquivalence:

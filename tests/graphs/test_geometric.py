@@ -13,13 +13,24 @@ from repro.graphs.generators.geometric import (
 from repro.graphs.properties import diameter
 from repro.util.errors import GraphStructureError
 
+try:
+    import numpy  # noqa: F401
+    _HAVE_NUMPY = True
+except ImportError:
+    _HAVE_NUMPY = False
+requires_numpy = pytest.mark.skipif(
+    not _HAVE_NUMPY, reason="sampling needs numpy (the vectorized extra)"
+)
+
 
 class TestGeometric:
+    @requires_numpy
     def test_connected_and_sized(self):
         graph = random_geometric_graph(80, 0.25, rng=1)
         assert graph.number_of_nodes() == 80
         assert nx.is_connected(graph)
 
+    @requires_numpy
     def test_radius_too_small_raises(self):
         with pytest.raises(GraphStructureError):
             random_geometric_graph(100, 0.001, rng=1, max_tries=3)

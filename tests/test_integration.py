@@ -5,6 +5,7 @@ construction → scheduling → application — the way a downstream user would.
 """
 
 import networkx as nx
+import pytest
 
 from repro.apps.connectivity import subgraph_components
 from repro.apps.mst import assign_random_weights, distributed_mst
@@ -93,6 +94,7 @@ class TestMstOnHardTopologies:
 
 class TestConnectivityOnGeometric:
     def test_components_of_thinned_geometric_graph(self):
+        pytest.importorskip("numpy", reason="sampling needs numpy/scipy")
         graph = random_geometric_graph(70, 0.25, rng=13)
         import random
 
