@@ -667,9 +667,76 @@ class ProtoStateRule(Rule):
         return findings
 
 
+# ---------------------------------------------------------------------------
+# PROTO-JOB — node algorithms must not read or forge tenancy tags.
+
+
+class ProtoJobRule(Rule):
+    """Flag node-algorithm code touching ``job_id`` tenancy tags.
+
+    The multi-tenant job layer (:mod:`repro.congest.jobs`) tags every
+    fabric with the job it belongs to so messages demultiplex per tenant.
+    That tag is *protocol* state: node code reading it would make an
+    algorithm behave differently under the job layer than in a direct
+    run (breaking the solo byte-identity contract), and writing it would
+    forge another tenant's identity — cross-job isolation is exactly as
+    strong as nobody touching the tag. Same enforcement pattern as
+    ``PROTO-STATE``: every attribute access spelled ``*.job_id`` inside a
+    ``NodeAlgorithm`` subclass method (``__init__`` included — a node has
+    no business holding a tenancy tag at all) is flagged.
+    """
+
+    name = "PROTO-JOB"
+    summary = (
+        "node algorithm reads or forges a job_id tenancy tag; tags belong "
+        "to the fabric/arbiter layer only"
+    )
+
+    def applies_to(self, module: str | None) -> bool:
+        return module is not None and (
+            _is_simulator_module(module) or module.startswith("apps/")
+        )
+
+    def check(self, module, tree, path):
+        findings = []
+        for cls in ast.walk(tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            names = [_dotted(base) or "" for base in cls.bases]
+            if not any(
+                name.split(".")[-1].endswith(("NodeAlgorithm", "Node"))
+                for name in names
+            ):
+                continue
+            for item in cls.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                findings.extend(self._scan_method(item, path))
+        return findings
+
+    def _scan_method(self, method: ast.AST, path: str) -> list[Finding]:
+        findings = []
+        for node in ast.walk(method):
+            if isinstance(node, ast.Attribute) and node.attr == "job_id":
+                dotted = _dotted(node)
+                spelled = dotted if dotted is not None else f"....{node.attr}"
+                verb = (
+                    "forges" if isinstance(node.ctx, (ast.Store, ast.Del))
+                    else "reads"
+                )
+                findings.append(_finding(
+                    self, path, node,
+                    f"{verb} tenancy tag {spelled}; job_id belongs to the "
+                    "fabric/arbiter layer — node code must be oblivious to "
+                    "which tenant it runs as",
+                ))
+        return findings
+
+
 register_rule(DetRngRule)
 register_rule(DetWallRule)
 register_rule(DetOrderRule)
 register_rule(ProtoRoundRule)
 register_rule(RegBackendRule)
 register_rule(ProtoStateRule)
+register_rule(ProtoJobRule)

@@ -5,26 +5,36 @@ demonstration): global graph problems whose distributed round complexity is
 driven by the part-wise aggregation time, hence by the shortcut quality.
 """
 
-from repro.apps.connectivity import ConnectivityResult, subgraph_components
-from repro.apps.mincut import MinCutResult, distributed_mincut
-from repro.apps.mst import MstResult, distributed_mst
+from repro.apps.connectivity import (
+    ConnectivityResult,
+    connectivity_job,
+    subgraph_components,
+)
+from repro.apps.mincut import MinCutResult, distributed_mincut, mincut_job
+from repro.apps.mst import MstResult, distributed_mst, mst_job
 from repro.apps.partwise import (
     PartwiseSolution,
+    partwise_job,
     solve_partwise_aggregation,
     solve_partwise_multicast,
 )
-from repro.apps.sssp import bellman_ford_sssp, distributed_bfs_sssp
+from repro.apps.sssp import bellman_ford_sssp, distributed_bfs_sssp, sssp_job
 
 __all__ = [
     "MstResult",
     "distributed_mst",
+    "mst_job",
     "MinCutResult",
     "distributed_mincut",
+    "mincut_job",
     "bellman_ford_sssp",
     "distributed_bfs_sssp",
+    "sssp_job",
     "ConnectivityResult",
     "subgraph_components",
+    "connectivity_job",
     "PartwiseSolution",
     "solve_partwise_aggregation",
     "solve_partwise_multicast",
+    "partwise_job",
 ]

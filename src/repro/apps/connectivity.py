@@ -36,7 +36,7 @@ from repro.sched.partwise import partwise_aggregate
 from repro.util.errors import GraphStructureError, ShortcutError
 from repro.util.rng import ensure_rng
 
-__all__ = ["ConnectivityResult", "subgraph_components"]
+__all__ = ["ConnectivityResult", "subgraph_components", "connectivity_job"]
 
 Edge = tuple[int, int]
 
@@ -204,3 +204,25 @@ def _min_or_none(a, b):
     if b is None:
         return a
     return min(a, b)
+
+def connectivity_job(
+    graph, subgraph_edges, job_id="connectivity", on_complete=None, **kwargs
+):
+    """A subgraph-connectivity query as a submittable job.
+
+    Returns a call :class:`~repro.congest.jobs.Job` for
+    :meth:`repro.serve.JobServer.submit`: the Borůvka label-hooking
+    driver interleaves centralized glue with packet-scheduler phases, so
+    it executes atomically at admission — under the server's admission
+    control and per-job accounting, but not fabric-multiplexed. The
+    outcome's ``results`` is the :class:`ConnectivityResult`; its
+    ``stats`` is the run's measured cost. ``kwargs`` pass through to
+    :func:`subgraph_components`.
+    """
+    from repro.congest.jobs import Job
+
+    def run():
+        result = subgraph_components(graph, subgraph_edges, **kwargs)
+        return result, result.stats
+
+    return Job(job_id, call=run, on_complete=on_complete)

@@ -43,7 +43,7 @@ from repro.graphs.trees import RootedTree
 from repro.util.errors import GraphStructureError, ShortcutError
 from repro.util.rng import ensure_rng
 
-__all__ = ["MinCutResult", "distributed_mincut", "degree_bound_from_density"]
+__all__ = ["MinCutResult", "distributed_mincut", "degree_bound_from_density", "mincut_job"]
 
 Edge = tuple[int, int]
 
@@ -287,3 +287,24 @@ def _best_two_respecting(
     else:
         side = frozenset(side_e | side_f)
     return best, side
+
+
+def mincut_job(graph, job_id="mincut", on_complete=None, **kwargs):
+    """A distributed min-cut query as a submittable job.
+
+    Returns a call :class:`~repro.congest.jobs.Job` for
+    :meth:`repro.serve.JobServer.submit`: the tree-packing driver
+    interleaves centralized glue with packet-scheduler phases, so it
+    executes atomically at admission — under the server's admission
+    control and per-job accounting, but not fabric-multiplexed. The
+    outcome's ``results`` is the :class:`MinCutResult`; its ``stats`` is
+    the run's measured cost. ``kwargs`` pass through to
+    :func:`distributed_mincut`.
+    """
+    from repro.congest.jobs import Job
+
+    def run():
+        result = distributed_mincut(graph, **kwargs)
+        return result, result.stats
+
+    return Job(job_id, call=run, on_complete=on_complete)

@@ -40,7 +40,7 @@ from repro.sched.partwise import partwise_aggregate
 from repro.util.errors import GraphStructureError, ShortcutError
 from repro.util.rng import ensure_rng
 
-__all__ = ["MstResult", "distributed_mst", "assign_random_weights"]
+__all__ = ["MstResult", "distributed_mst", "assign_random_weights", "mst_job"]
 
 Edge = tuple[int, int]
 
@@ -294,3 +294,24 @@ def _merge_fragments(
         if ru != rv:
             parent[max(ru, rv)] = min(ru, rv)
     return {node: find(fragment) for node, fragment in fragment_of.items()}
+
+
+def mst_job(graph, weights=None, job_id="mst", on_complete=None, **kwargs):
+    """A distributed-MST query as a submittable job.
+
+    Returns a call :class:`~repro.congest.jobs.Job` for
+    :meth:`repro.serve.JobServer.submit`: the MST driver interleaves
+    centralized glue (fragment merging) with packet-scheduler phases, so
+    it executes atomically at admission — under the server's admission
+    control and per-job accounting, but not fabric-multiplexed. The
+    outcome's ``results`` is the :class:`MstResult`; its ``stats`` is the
+    run's measured cost. ``kwargs`` pass through to
+    :func:`distributed_mst`.
+    """
+    from repro.congest.jobs import Job
+
+    def run():
+        result = distributed_mst(graph, weights, **kwargs)
+        return result, result.stats
+
+    return Job(job_id, call=run, on_complete=on_complete)

@@ -35,7 +35,12 @@ from repro.sched.partwise import partwise_aggregate
 from repro.util.errors import ShortcutError
 from repro.util.rng import ensure_rng
 
-__all__ = ["PartwiseSolution", "solve_partwise_aggregation", "solve_partwise_multicast"]
+__all__ = [
+    "PartwiseSolution",
+    "solve_partwise_aggregation",
+    "solve_partwise_multicast",
+    "partwise_job",
+]
 
 
 @dataclass
@@ -201,3 +206,28 @@ def solve_partwise_multicast(
     )
     solution.values = {index: value[1] for index, value in solution.values.items()}
     return solution
+
+
+def partwise_job(
+    graph, partition, values, combine, job_id="partwise", on_complete=None, **kwargs
+):
+    """A part-wise aggregation query as a submittable job.
+
+    Returns a call :class:`~repro.congest.jobs.Job` for
+    :meth:`repro.serve.JobServer.submit`: the solve pairs a shortcut
+    construction with a packet-scheduler aggregation, so it executes
+    atomically at admission — under the server's admission control and
+    per-job accounting, but not fabric-multiplexed. The outcome's
+    ``results`` is the :class:`PartwiseSolution`; its ``stats`` is the
+    sequential composition of the construction and aggregation costs.
+    ``kwargs`` pass through to :func:`solve_partwise_aggregation`.
+    """
+    from repro.congest.jobs import Job
+
+    def run():
+        solution = solve_partwise_aggregation(
+            graph, partition, values, combine, **kwargs
+        )
+        return solution, solution.construction_stats + solution.aggregation_stats
+
+    return Job(job_id, call=run, on_complete=on_complete)

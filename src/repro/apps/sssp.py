@@ -25,7 +25,7 @@ from repro.congest.stats import RoundStats
 from repro.graphs.adjacency import canonical_edge
 from repro.util.errors import GraphStructureError
 
-__all__ = ["distributed_bfs_sssp", "bellman_ford_sssp", "approx_sssp"]
+__all__ = ["distributed_bfs_sssp", "bellman_ford_sssp", "approx_sssp", "sssp_job"]
 
 Edge = tuple[int, int]
 
@@ -139,6 +139,56 @@ def bellman_ford_sssp(
     }
     results, stats = network.run(algorithms)
     return results, stats
+
+
+def sssp_job(
+    graph: nx.Graph,
+    source: int,
+    weights: dict[Edge, int] | None = None,
+    max_hops: int | None = None,
+    rng: int | random.Random | None = None,
+    nodes=None,
+    job_id: str | None = None,
+    on_complete=None,
+):
+    """A Bellman–Ford SSSP query as a multiplexable population job.
+
+    Returns a :class:`~repro.congest.jobs.Job` ready for
+    :meth:`repro.serve.JobServer.submit` /
+    :meth:`~repro.congest.jobs.JobScheduler.run`. Unlike the call-job
+    wrappers of the multi-phase apps, this is a *true* population job:
+    its node algorithms run on the shared fabric, message by message,
+    under the per-edge bandwidth arbiter — running it solo reproduces
+    :func:`bellman_ford_sssp` byte for byte.
+
+    Args:
+        nodes: optional node subset — the query then runs on the induced
+            subgraph of that region (the source must be in it). Scoped
+            regions are how concurrent tenants share a graph without
+            contending: disjoint regions touch disjoint edges.
+
+    Other arguments as in :func:`bellman_ford_sssp`; the outcome's
+    ``results`` maps each population node to its distance (``None`` if
+    unreachable within the budget).
+    """
+    population = tuple(graph.nodes()) if nodes is None else tuple(nodes)
+    if source not in population:
+        raise GraphStructureError(f"source {source} is not in the job population")
+    if weights is None:
+        weights = {canonical_edge(u, v): 1 for u, v in graph.edges()}
+    for edge, weight in weights.items():
+        if not isinstance(weight, int) or weight < 0:
+            raise GraphStructureError(
+                f"weights must be nonnegative integers; {edge} has {weight!r}"
+            )
+    from repro.congest.jobs import Job
+
+    return Job(
+        job_id if job_id is not None else f"sssp-{source}",
+        {v: _BellmanFordNode(v, v == source, weights, max_hops) for v in population},
+        rng=rng,
+        on_complete=on_complete,
+    )
 
 
 def approx_sssp(

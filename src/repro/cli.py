@@ -12,6 +12,11 @@ Five commands cover the common workflows without writing any code:
   the baseline arm, with measured rounds;
 * ``certify`` — run the certifying provider and print the attempt ledger
   plus the dense-minor witness, if any;
+* ``serve`` — the multi-tenant job service demo: N scoped SSSP jobs (one
+  per Voronoi region) multiplexed over one fabric with fair bandwidth
+  arbitration and per-job stats;
+* ``registry`` — every registered extension point in one listing:
+  schedulers, latency models, shortcut providers, lint rules;
 * ``lint`` — the CONGEST determinism/protocol static analyzer
   (:mod:`repro.analysis`): nonzero exit on findings, ``--format github``
   for CI annotations, ``--select`` for a rule subset.
@@ -276,6 +281,73 @@ def _cmd_certify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.apps.sssp import sssp_job
+    from repro.graphs.partition import voronoi_partition
+    from repro.serve import JobServer
+
+    if args.scheduler not in ("event", "async"):
+        raise SystemExit(
+            f"repro serve multiplexes the virtual-time modes (event, async); "
+            f"got --scheduler {args.scheduler!r}"
+        )
+    graph = build_family(args)
+    num_jobs = args.jobs
+    if num_jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {num_jobs}")
+    # One tenant per Voronoi region: disjoint connected populations share
+    # the fabric without contending for edges — the paper's multi-tenant
+    # narrative in one command.
+    regions = voronoi_partition(graph, num_jobs, rng=args.seed)
+    server = JobServer(
+        graph,
+        scheduler=args.scheduler,
+        latency_model=args.latency_model,
+        max_inflight=args.max_inflight,
+    )
+    for index, region in enumerate(regions):
+        server.submit(
+            sssp_job(
+                graph, min(region), nodes=region, rng=args.seed + index,
+                job_id=f"sssp-region-{index}",
+            )
+        )
+    print(f"graph: {args.family}, n={graph.number_of_nodes()}, "
+          f"m={graph.number_of_edges()}; {num_jobs} scoped SSSP job(s), "
+          f"scheduler {args.scheduler}"
+          + (f", latency model {args.latency_model}" if args.latency_model else "")
+          + (f", max inflight {args.max_inflight}" if args.max_inflight else ""))
+    result = server.drain(
+        on_complete=lambda outcome: print(
+            f"  {outcome.job_id}: {outcome.status} at tick "
+            f"{outcome.completed_tick} ({outcome.stats.summary()})"
+        )
+    )
+    print(f"aggregate: {result.stats.summary()}")
+    return 0
+
+
+def _cmd_registry(args: argparse.Namespace) -> int:
+    from repro.analysis import rule_table
+    from repro.congest.asynchronous import available_latency_models
+    from repro.congest.engine import available_schedulers
+    from repro.core.providers import available_providers
+
+    print("schedulers:")
+    for name in available_schedulers():
+        print(f"  {name}")
+    print("latency models:")
+    for name in available_latency_models():
+        print(f"  {name}")
+    print("shortcut providers:")
+    for name in available_providers():
+        print(f"  {name}")
+    print("lint rules:")
+    for name, summary in rule_table():
+        print(f"  {name:12s} {summary}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import analyze_paths, format_findings, rule_table
 
@@ -356,6 +428,28 @@ def main(argv: list[str] | None = None) -> int:
     certify.add_argument("--parts", type=int, default=None)
     certify.add_argument("--initial-delta", type=float, default=0.25)
     certify.set_defaults(func=_cmd_certify)
+
+    serve = subparsers.add_parser(
+        "serve", help="multi-tenant job service demo (scoped SSSP jobs)"
+    )
+    _add_family_arguments(serve)
+    _add_scheduler_arguments(serve)
+    serve.add_argument(
+        "--jobs", type=int, default=4,
+        help="number of concurrent scoped SSSP jobs (default 4)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=None, dest="max_inflight",
+        help="admission control: max concurrently multiplexed jobs "
+             "(default: unbounded)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    registry = subparsers.add_parser(
+        "registry",
+        help="list registered schedulers, latency models, providers, lint rules",
+    )
+    registry.set_defaults(func=_cmd_registry)
 
     lint = subparsers.add_parser(
         "lint", help="CONGEST determinism/protocol static analysis"

@@ -208,7 +208,7 @@ class MessageFabric:
 
     __slots__ = (
         "neighbor_sets", "bandwidth_bits", "enforce_bandwidth", "stats",
-        "latencies",
+        "latencies", "job_id", "arbiter",
     )
 
     def __init__(
@@ -218,6 +218,8 @@ class MessageFabric:
         enforce_bandwidth: bool,
         stats: RoundStats,
         latencies: dict[tuple[int, int], int] | None = None,
+        job_id: str | None = None,
+        arbiter: object = None,
     ):
         self.neighbor_sets = neighbor_sets
         self.bandwidth_bits = bandwidth_bits
@@ -226,6 +228,15 @@ class MessageFabric:
         # Per-directed-edge transit times in ticks (>= 1), or None for the
         # lockstep backends (every message takes exactly one round).
         self.latencies = latencies
+        # Tenancy tagging (the multi-tenant job layer, repro.congest.jobs):
+        # every message this fabric carries belongs to `job_id`, and when an
+        # `arbiter` is attached sends are submitted to it for per-edge
+        # bandwidth grants instead of being staged directly — the arbiter
+        # charges stats and stages the arrival at grant time. Both stay
+        # None for single-tenant executions, whose hot paths are unchanged
+        # beyond one attribute test.
+        self.job_id = job_id
+        self.arbiter = arbiter
 
     def validate(self, sender: int, target: int, payload: object) -> int:
         """Check adjacency and the bit budget; return the payload's bit size.
@@ -259,6 +270,12 @@ class MessageFabric:
         All targets are local (the in-process path); the sharded worker uses
         :meth:`validate` directly and routes cross-shard targets itself.
         """
+        if self.arbiter is not None:
+            raise CongestViolation(
+                "an arbitrated fabric must deliver through the virtual-time "
+                "path (deliver_timed); the round-staging path cannot defer "
+                "messages across ticks"
+            )
         stats = self.stats
         for target, payload in outbox.items():
             bits = self.validate(sender, target, payload)
@@ -286,7 +303,20 @@ class MessageFabric:
         insertion order regardless of send times. Returns the arrival times
         whose buckets this call created, so the caller can extend its wake
         schedule.
+
+        With an :attr:`arbiter` attached (multi-tenant executions), sends
+        are validated here but *submitted* to the arbiter instead of being
+        staged: the edge grant — and therefore the arrival tick and the
+        stats charge — happens in the arbiter's per-tick resolution, and
+        the returned list is empty (the arbiter wakes the receiving job
+        itself at grant time).
         """
+        arbiter = self.arbiter
+        if arbiter is not None:
+            for target, payload in outbox.items():
+                bits = self.validate(sender, target, payload)
+                arbiter.submit(self, sender, sender_index, target, payload, bits)
+            return []
         stats = self.stats
         latencies = self.latencies
         new_times: list[int] = []

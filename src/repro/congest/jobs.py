@@ -1,0 +1,696 @@
+"""Multi-tenant job scheduling: N algorithm instances over one fabric.
+
+The north star is a service where many tenants run queries concurrently
+against a shared graph. :class:`~repro.congest.network.SyncNetwork`
+executes exactly one algorithm population per run; this module multiplexes
+*jobs* — independent :class:`~repro.congest.node.NodeAlgorithm`
+populations — over a single virtual-time execution:
+
+* every message is tagged with its job: each job owns a
+  :class:`~repro.congest.engine.MessageFabric` carrying the job id, and
+  per-node inboxes are demultiplexed per job (a node participating in two
+  jobs is two independent state machines with two independent rng
+  streams);
+* bandwidth is arbitrated: a directed edge carries at most
+  ``capacity`` (default 1 — the CONGEST rule) messages per global tick
+  *across all jobs*. Contending sends queue per ``(edge, job)`` FIFO and
+  are granted round-robin over job slots (:class:`EdgeArbiter`), so the
+  schedule is deterministic and byte-identical per seed. Each message
+  still queued at the end of a tick charges one ``arbitration_stalls``
+  unit (message-ticks spent waiting);
+* per-job observability: every job gets its own
+  :class:`~repro.congest.stats.RoundStats` in its own job-local clock,
+  and the aggregate stats carry the per-job projection in
+  ``stats.jobs``. Per-job ``messages``/``message_bits``/``activations``/
+  ``arbitration_stalls`` sum to the fabric aggregate by construction.
+
+**Solo identity.** A job running alone is never arbitrated against (a
+node activates at most once per tick and emits at most one message per
+neighbor, so a single job submits at most one message per directed edge
+per tick — every send is granted at its send tick). The driver replicates
+the ``event``/``async`` backend semantics tick for tick, so a solo
+full-population job produces byte-identical results *and* RoundStats to a
+direct ``SyncNetwork`` run with the same rng — the contract
+``tests/congest/test_jobs.py`` pins on both backends. A solo *scoped* job
+(a population covering a subset of the graph) is likewise byte-identical
+to a direct run on the induced subgraph of its population, in the shared
+graph's node order.
+
+**Fairness bound.** Per directed edge, grants cycle round-robin over the
+job slots with queued messages. On a symmetric workload where all K jobs
+stay backlogged on an edge, any window of T consecutive ticks gives each
+job ``T / K`` grants on that edge, up to an absolute deviation of at most
+1 — no job's arbitration share deviates from ``1/K`` by more than ``1/T``
+(pinned by ``tests/congest/test_jobs.py``).
+
+**Job-local clocks.** A job admitted at global tick ``s`` sees its own
+tick 0 there: ``ctx.round``, per-job ``rounds``/``messages_by_round``/
+``completion_times``, and ``max_rounds`` are all job-relative. The
+aggregate ``rounds`` is the service makespan (the last global tick with
+any activity); aggregate ``messages_by_round`` is the key-wise sum of the
+job-relative histograms (exactly what :meth:`RoundStats.merge` computes),
+and the aggregate leaves ``completion_times`` empty — per-job times live
+in the ``stats.jobs`` projection.
+
+Admission control (``max_inflight``) bounds how many jobs multiplex at
+once; queued jobs are admitted in submission order as slots free up. The
+:mod:`repro.serve` JobServer layers a query API with completion callbacks
+on top of this driver.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.congest.asynchronous import resolve_latency_model
+from repro.congest.engine import MessageFabric, NodeContext
+from repro.congest.network import BANDWIDTH_FACTOR
+from repro.congest.node import NodeAlgorithm
+from repro.congest.stats import RoundStats
+from repro.util.errors import CongestViolation, GraphStructureError
+from repro.util.rng import derive_node_rng, ensure_rng
+
+__all__ = ["Job", "JobOutcome", "ScheduleResult", "EdgeArbiter", "JobScheduler"]
+
+# The two execution modes the job layer multiplexes. They reuse the
+# backend names they replicate: "event" is the unit-latency active-set
+# schedule, "async" the latency-realistic virtual clock (per-edge
+# latencies, wall-model stats dimension). The lockstep degrade backends
+# (dense, sharded) and the columnar backend have no virtual-time delivery
+# path to arbitrate, so the job layer does not drive them.
+_MODES = ("event", "async")
+
+
+class Job:
+    """One tenant's unit of work, submitted to a :class:`JobScheduler`.
+
+    Exactly one of the two kinds:
+
+    * **population job** — ``algorithms`` maps node -> NodeAlgorithm. The
+      population may cover the whole graph or any subset (the job then
+      runs on the induced subgraph of its keys, in the shared graph's
+      node order). Runs multiplexed on the shared fabric.
+    * **call job** — ``call`` is a zero-argument callable returning
+      ``(result, RoundStats)``. Used for queries whose driver interleaves
+      centralized glue with packet-scheduler phases (the shortcut apps);
+      executed atomically at admission, under the same admission control
+      and per-job accounting, but not fabric-multiplexed.
+
+    Args:
+        job_id: unique identifier (the key of the per-job stats
+            projection).
+        algorithms: the population (population jobs).
+        call: the query thunk (call jobs).
+        rng: seed or generator; one ``run_seed`` is drawn at admission
+            exactly as ``SyncNetwork.run`` draws it, so a solo job
+            replays a direct run byte for byte.
+        max_rounds: job-local tick bound (same default as
+            ``SyncNetwork.run``).
+        raise_on_timeout: raise :class:`CongestViolation` on timeout
+            instead of completing the job with ``status="timeout"``.
+        reduce: optional post-processing of the per-node results dict
+            into the outcome's ``results``.
+        on_complete: optional callback invoked with the
+            :class:`JobOutcome` the moment the job completes (while the
+            schedule is still running).
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        algorithms: dict[int, NodeAlgorithm] | None = None,
+        *,
+        call: Callable[[], tuple[object, RoundStats]] | None = None,
+        rng: int | random.Random | None = None,
+        max_rounds: int = 10**6,
+        raise_on_timeout: bool = True,
+        reduce: Callable[[dict], object] | None = None,
+        on_complete: Callable[["JobOutcome"], None] | None = None,
+    ):
+        if (algorithms is None) == (call is None):
+            raise CongestViolation(
+                f"job {job_id!r} must define exactly one of algorithms= "
+                "(population job) or call= (call job)"
+            )
+        self.job_id = job_id
+        self.algorithms = algorithms
+        self.call = call
+        self.rng = rng
+        self.max_rounds = max_rounds
+        self.raise_on_timeout = raise_on_timeout
+        self.reduce = reduce
+        self.on_complete = on_complete
+
+
+@dataclass
+class JobOutcome:
+    """What a completed job produced, plus its measured cost.
+
+    Attributes:
+        job_id: the job's identifier.
+        results: per-node results dict (population jobs, after the
+            optional ``reduce``) or the call's result (call jobs).
+        stats: the job's own RoundStats, in its job-local clock. This is
+            the same object exposed under the aggregate's
+            ``stats.jobs[job_id]`` (as a copy).
+        admitted_tick: global tick at which the job started (its local
+            tick 0).
+        completed_tick: global tick at which it quiesced.
+        status: ``"completed"`` or ``"timeout"``.
+    """
+
+    job_id: str
+    results: object
+    stats: RoundStats
+    admitted_tick: int
+    completed_tick: int
+    status: str = "completed"
+
+
+@dataclass
+class ScheduleResult:
+    """Everything a :meth:`JobScheduler.run` produced.
+
+    Attributes:
+        outcomes: job id -> :class:`JobOutcome`, in completion order.
+        stats: fabric-level aggregate RoundStats: ``rounds`` is the
+            service makespan in global ticks, counters are the sums over
+            jobs, ``arbitration_stalls`` the total message-ticks queued,
+            and ``stats.jobs`` the per-job projection.
+    """
+
+    outcomes: dict[str, JobOutcome]
+    stats: RoundStats
+
+
+class _JobState:
+    """Driver-internal execution state of one admitted population job."""
+
+    __slots__ = (
+        "job", "slot", "offset", "nodes", "index", "contexts", "fabric",
+        "stats", "latencies", "arrivals", "latched", "timers", "scheduled",
+        "pending", "timed_out",
+    )
+
+    def __init__(self, job: Job, slot: int, offset: int):
+        self.job = job
+        self.slot = slot
+        self.offset = offset  # global tick of the job's local tick 0
+        self.stats = RoundStats()
+        self.arrivals: dict[int, dict[int, list]] = {}
+        self.latched: dict[int, list[int]] = {}
+        self.timers: dict[int, set[int]] = {}
+        self.scheduled: set[int] = set()  # job-local ticks in the heap
+        self.pending = 0  # messages queued in the arbiter
+        self.timed_out = False
+
+
+class EdgeArbiter:
+    """Deterministic per-edge bandwidth arbitration across jobs.
+
+    Each directed edge grants at most ``capacity`` messages per global
+    tick. Contending sends queue per ``(edge, job slot)`` FIFO; grants
+    cycle round-robin over the slots with queued messages, resuming after
+    the last granted slot, so on a backlogged edge every job's grant
+    count over any window differs from every other's by at most 1.
+    Messages still queued after a tick's grants each charge one
+    ``arbitration_stalls`` unit to their job (and to the aggregate).
+    """
+
+    def __init__(self, capacity: int = 1):
+        if capacity < 1:
+            raise CongestViolation(
+                f"edge capacity must be >= 1 message per tick, got {capacity}"
+            )
+        self.capacity = capacity
+        # edge -> slot -> FIFO of (state, sender_index, sender, target,
+        # payload, bits); edges are (sender, target) in shared-graph ids.
+        self.pending: dict[tuple, dict[int, deque]] = {}
+        self.rr: dict[tuple, int] = {}  # edge -> last granted slot
+        self.stalls = 0
+        self.total_pending = 0
+        self._states: dict[str, _JobState] = {}
+
+    def bind(self, states: dict[str, _JobState]) -> None:
+        self._states = states
+
+    def submit(self, fabric, sender, sender_index, target, payload, bits) -> None:
+        """Queue one validated send (called from ``MessageFabric``)."""
+        state = self._states[fabric.job_id]
+        per_slot = self.pending.setdefault((sender, target), {})
+        queue = per_slot.get(state.slot)
+        if queue is None:
+            queue = per_slot[state.slot] = deque()
+        queue.append((state, sender_index, sender, target, payload, bits))
+        state.pending += 1
+        self.total_pending += 1
+
+    def drop(self, state: _JobState) -> None:
+        """Forget a timed-out job's queued sends."""
+        for edge in sorted(self.pending, key=_edge_sort_key):
+            per_slot = self.pending[edge]
+            queue = per_slot.pop(state.slot, None)
+            if queue:
+                self.total_pending -= len(queue)
+            if not per_slot:
+                del self.pending[edge]
+                self.rr.pop(edge, None)
+        state.pending = 0
+
+    def resolve(self, now: int, grant: Callable) -> bool:
+        """Grant up to ``capacity`` messages per edge for tick ``now``.
+
+        ``grant(state, sender_index, sender, target, payload, bits, now)``
+        stages the arrival and charges the job's stats. Returns True when
+        messages remain queued (the caller schedules another resolution
+        at ``now + 1``).
+        """
+        if not self.pending:
+            return False
+        for edge in sorted(self.pending, key=_edge_sort_key):
+            per_slot = self.pending[edge]
+            granted = 0
+            while granted < self.capacity and per_slot:
+                slots = sorted(per_slot)
+                pointer = self.rr.get(edge, -1)
+                chosen = next((s for s in slots if s > pointer), slots[0])
+                queue = per_slot[chosen]
+                state, sender_index, sender, target, payload, bits = queue.popleft()
+                if not queue:
+                    del per_slot[chosen]
+                self.rr[edge] = chosen
+                state.pending -= 1
+                self.total_pending -= 1
+                grant(state, sender_index, sender, target, payload, bits, now)
+                granted += 1
+            if per_slot:
+                for slot in sorted(per_slot):
+                    waiting = len(per_slot[slot])
+                    self.stalls += waiting
+                    per_slot[slot][0][0].stats.arbitration_stalls += waiting
+            else:
+                del self.pending[edge]
+        return bool(self.pending)
+
+
+def _edge_sort_key(edge: tuple) -> tuple:
+    return edge
+
+
+class JobScheduler:
+    """Multiplex N jobs over one shared graph with fair edge arbitration.
+
+    Args:
+        graph: the shared communication topology.
+        scheduler: execution mode — ``"event"`` (unit latency, active-set
+            schedule; the default) or ``"async"`` (per-edge latencies and
+            the wall-model stats dimension). Each mode replicates its
+            namesake backend tick for tick, so a solo job is
+            byte-identical to a direct ``SyncNetwork`` run.
+        latency_model: per-edge latency model, ``"async"`` mode only.
+            Latency tables are built per job from the job's own run seed
+            (the solo-identity contract), so jitter is per-flow.
+        bandwidth_bits: per-message budget applied to every job; default
+            per job is the ``SyncNetwork`` rule over the job's population
+            size.
+        enforce_bandwidth: as in ``SyncNetwork``.
+        capacity: messages a directed edge may carry per global tick
+            across all jobs (default 1 — the CONGEST rule).
+        max_inflight: admission control — at most this many population
+            jobs multiplex at once (``None`` = unbounded); the rest queue
+            in submission order.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        scheduler: str = "event",
+        latency_model: object = None,
+        bandwidth_bits: int | None = None,
+        enforce_bandwidth: bool = True,
+        capacity: int = 1,
+        max_inflight: int | None = None,
+    ):
+        if graph.number_of_nodes() == 0:
+            raise GraphStructureError("cannot build a job scheduler on an empty graph")
+        if scheduler not in _MODES:
+            raise ValueError(
+                f"unknown job-layer scheduler {scheduler!r}; the job layer "
+                f"multiplexes the virtual-time modes: {', '.join(_MODES)}"
+            )
+        if latency_model is not None and scheduler != "async":
+            raise ValueError(
+                "latency_model requires scheduler='async'; the 'event' mode "
+                "runs unit latencies and would ignore it"
+            )
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.graph = graph
+        self.scheduler = scheduler
+        self.latency_model = latency_model
+        self._model = resolve_latency_model(latency_model)
+        self.bandwidth_bits = bandwidth_bits
+        self.enforce_bandwidth = enforce_bandwidth
+        self.capacity = capacity
+        self.max_inflight = max_inflight
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def _population(self, job: Job) -> tuple:
+        unknown = [v for v in job.algorithms if v not in self._gindex]
+        if unknown:
+            raise GraphStructureError(
+                f"job {job.job_id!r} population includes non-graph nodes "
+                f"{unknown[:5]}"
+            )
+        if len(job.algorithms) == len(self._nodes):
+            return self._nodes
+        members = set(job.algorithms)
+        return tuple(v for v in self._nodes if v in members)
+
+    def _admit(self, job: Job, offset: int) -> _JobState:
+        state = _JobState(job, self._next_slot, offset)
+        self._next_slot += 1
+        nodes = self._population(job)
+        state.nodes = nodes
+        state.index = {v: i for i, v in enumerate(nodes)}
+        # One draw per job, exactly as SyncNetwork.run draws its run seed.
+        run_seed = ensure_rng(job.rng).randrange(2**62)
+        if len(nodes) == len(self._nodes):
+            neighbors = self._neighbors
+            neighbor_sets = self._neighbor_sets
+            graph_view = self.graph
+        else:
+            # Induced-subgraph semantics: the job runs on G[population]
+            # with neighbor order inherited from the shared graph.
+            members = set(nodes)
+            neighbors = {
+                v: tuple(w for w in self._neighbors[v] if w in members)
+                for v in nodes
+            }
+            neighbor_sets = {v: frozenset(nbrs) for v, nbrs in neighbors.items()}
+            graph_view = self.graph.subgraph(nodes)
+        state.latencies = (
+            self._model.build(graph_view, run_seed)
+            if self.scheduler == "async"
+            else None
+        )
+        bandwidth = self.bandwidth_bits
+        if bandwidth is None:
+            bandwidth = BANDWIDTH_FACTOR * max(
+                1, math.ceil(math.log2(max(len(nodes), 2)))
+            )
+        state.fabric = MessageFabric(
+            neighbor_sets, bandwidth, self.enforce_bandwidth, state.stats,
+            latencies=state.latencies, job_id=job.job_id, arbiter=self._arbiter,
+        )
+        state.contexts = {
+            v: NodeContext(
+                v, neighbors[v], len(nodes), derive_node_rng(run_seed, i)
+            )
+            for i, v in enumerate(nodes)
+        }
+        self._states[job.job_id] = state
+        self._running.append(state)
+        # Local tick 0: on_start on every population node, by definition.
+        for v in nodes:
+            ctx = state.contexts[v]
+            outbox = job.algorithms[v].on_start(ctx) or {}
+            if outbox:
+                state.fabric.deliver_timed(v, state.index[v], outbox, state.arrivals, 0)
+            if ctx._keep_alive:
+                state.latched.setdefault(1, []).append(v)
+                self._schedule(state, 1)
+            self._arm_timer(state, v, ctx)
+        if self._arbiter.total_pending:
+            self._wake_global(offset)
+        return state
+
+    def _admit_from_queue(self, offset: int) -> None:
+        while self._queue and (
+            self.max_inflight is None or len(self._running) < self.max_inflight
+        ):
+            job = self._queue.popleft()
+            if job.call is not None:
+                self._complete_call(job, offset)
+            else:
+                self._admit(job, offset)
+
+    # ------------------------------------------------------------------
+    # The tick loop
+    # ------------------------------------------------------------------
+
+    def _schedule(self, state: _JobState, rel_tick: int) -> None:
+        state.scheduled.add(rel_tick)
+        self._wake_global(state.offset + rel_tick)
+
+    def _wake_global(self, tick: int) -> None:
+        if tick not in self._in_heap:
+            self._in_heap.add(tick)
+            heapq.heappush(self._heap, tick)
+
+    def _arm_timer(self, state: _JobState, v, ctx) -> None:
+        wake = ctx._wake_at
+        if wake is not None:
+            state.timers.setdefault(wake, set()).add(v)
+            self._schedule(state, wake)
+
+    def _stage(self, state, sender_index, sender, target, payload, bits, now) -> None:
+        """Stage one granted message: charge stats, bucket the arrival.
+
+        Mirrors ``MessageFabric.deliver_timed`` with the grant tick as the
+        send tick — for a solo job the grant tick *is* the send tick, so
+        the accounting is byte-identical to the direct backends; under
+        contention a deferred message is charged (and starts its transit)
+        at its grant.
+        """
+        rel = now - state.offset
+        arrive = rel + (state.latencies[(sender, target)] if state.latencies else 1)
+        bucket = state.arrivals.setdefault(arrive, {})
+        bucket.setdefault(target, []).append((sender_index, sender, payload))
+        state.stats.record_message(sender, target, bits, rel)
+        self._schedule(state, arrive)
+
+    def _tick(self, state: _JobState, now: int) -> bool:
+        """Run one job's activations at global tick ``now``.
+
+        Returns True when the job executed a (non-stale) round.
+        """
+        rel = now - state.offset
+        if rel not in state.scheduled:
+            return False
+        state.scheduled.discard(rel)
+        bucket = state.arrivals.pop(rel, None) or {}
+        latch_bucket = state.latched.pop(rel, None) or ()
+        due = [
+            v for v in state.timers.pop(rel, ())
+            if state.contexts[v]._wake_at == rel
+        ]
+        current = sorted(
+            bucket.keys() | set(latch_bucket) | set(due),
+            key=state.index.__getitem__,
+        )
+        if not current:
+            # Every entry at this tick went stale (timers re-armed
+            # earlier); it is not a round.
+            return False
+        job = state.job
+        if rel > job.max_rounds:
+            if job.raise_on_timeout:
+                raise CongestViolation(
+                    f"job {job.job_id!r}: execution did not quiesce within "
+                    f"{job.max_rounds} rounds"
+                )
+            state.stats.rounds = job.max_rounds
+            state.timed_out = True
+            state.scheduled.clear()
+            state.arrivals.clear()
+            state.latched.clear()
+            state.timers.clear()
+            self._arbiter.drop(state)
+            return True
+        state.stats.rounds = rel
+        for v in current:
+            self._activate(state, v, rel, bucket.get(v))
+        return True
+
+    def _activate(self, state: _JobState, v, rel: int, entries) -> None:
+        ctx = state.contexts[v]
+        ctx.round = rel
+        ctx._keep_alive = False
+        if ctx._wake_at is not None and ctx._wake_at <= rel:
+            ctx._wake_at = None  # the timer fires with this wake
+        if entries:
+            # Sender-index order: canonical inbox insertion order, no
+            # matter when each message was granted.
+            entries.sort()
+            inbox = {sender: payload for _, sender, payload in entries}
+        else:
+            inbox = {}
+        outbox = state.job.algorithms[v].on_wake(ctx, inbox) or {}
+        state.stats.activations += 1
+        if self.scheduler == "async":
+            state.stats.completion_times[v] = rel
+        if outbox:
+            state.fabric.deliver_timed(v, state.index[v], outbox, state.arrivals, rel)
+        if ctx._keep_alive:
+            state.latched.setdefault(rel + 1, []).append(v)
+            self._schedule(state, rel + 1)
+        self._arm_timer(state, v, ctx)
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+
+    def _complete_call(self, job: Job, tick: int) -> None:
+        result, stats = job.call()
+        if not isinstance(stats, RoundStats):
+            raise CongestViolation(
+                f"call job {job.job_id!r} must return (result, RoundStats); "
+                f"got {type(stats).__name__} for the stats"
+            )
+        self._finish(
+            JobOutcome(
+                job_id=job.job_id,
+                results=result,
+                stats=stats,
+                admitted_tick=tick,
+                completed_tick=tick,
+            ),
+            job,
+        )
+
+    def _complete(self, state: _JobState, now: int) -> None:
+        job = state.job
+        if self.scheduler == "async":
+            state.stats.virtual_time = state.stats.rounds
+        results = {v: job.algorithms[v].result() for v in state.nodes}
+        self._finish(
+            JobOutcome(
+                job_id=job.job_id,
+                results=job.reduce(results) if job.reduce is not None else results,
+                stats=state.stats,
+                admitted_tick=state.offset,
+                completed_tick=now,
+                status="timeout" if state.timed_out else "completed",
+            ),
+            job,
+        )
+        self._running.remove(state)
+        del self._states[job.job_id]
+        self._last_activity = max(self._last_activity, now)
+
+    def _finish(self, outcome: JobOutcome, job: Job) -> None:
+        self._outcomes[outcome.job_id] = outcome
+        if job.on_complete is not None:
+            job.on_complete(outcome)
+        if self._on_complete is not None:
+            self._on_complete(outcome)
+
+    def _reap(self, now: int) -> None:
+        finished = [
+            state for state in self._running
+            if not state.scheduled and state.pending == 0
+        ]
+        for state in finished:
+            self._complete(state, now)
+        if finished and self._queue:
+            self._admit_from_queue(now + 1)
+            self._reap(now + 1)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        jobs: list[Job],
+        on_complete: Callable[[JobOutcome], None] | None = None,
+    ) -> ScheduleResult:
+        """Execute ``jobs`` to completion and return outcomes + aggregate.
+
+        Jobs are admitted in list order, at most ``max_inflight``
+        population jobs at a time; later jobs are admitted the tick after
+        a slot frees. Call jobs execute atomically at their admission
+        tick.
+
+        Raises:
+            CongestViolation: model violations, or a job timing out with
+                ``raise_on_timeout`` set.
+        """
+        if not jobs:
+            return ScheduleResult(outcomes={}, stats=RoundStats())
+        seen = set()
+        for job in jobs:
+            if job.job_id in seen:
+                raise CongestViolation(f"duplicate job id {job.job_id!r}")
+            seen.add(job.job_id)
+        # Topology snapshot, shared by every job (the amortization the
+        # serial path pays once per run).
+        self._nodes = tuple(self.graph.nodes())
+        self._gindex = {v: i for i, v in enumerate(self._nodes)}
+        self._neighbors = {v: tuple(self.graph.neighbors(v)) for v in self._nodes}
+        self._neighbor_sets = {
+            v: frozenset(nbrs) for v, nbrs in self._neighbors.items()
+        }
+        self._arbiter = EdgeArbiter(self.capacity)
+        self._states: dict[str, _JobState] = {}
+        self._arbiter.bind(self._states)
+        self._running: list[_JobState] = []
+        self._queue: deque[Job] = deque(jobs)
+        self._outcomes: dict[str, JobOutcome] = {}
+        self._heap: list[int] = []
+        self._in_heap: set[int] = set()
+        self._next_slot = 0
+        self._last_activity = 0
+        self._on_complete = on_complete
+
+        self._admit_from_queue(0)
+        self._reap(0)
+        while self._heap or self._queue:
+            if not self._heap:
+                # Running jobs all quiesced exactly at the last tick and
+                # freed their slots; admit the queue at the next tick.
+                self._admit_from_queue(self._last_activity + 1)
+                self._reap(self._last_activity + 1)
+                continue
+            now = heapq.heappop(self._heap)
+            self._in_heap.discard(now)
+            busy = False
+            for state in list(self._running):
+                busy = self._tick(state, now) or busy
+            if self._arbiter.resolve(now, self._stage):
+                self._wake_global(now + 1)
+                busy = True
+            if busy:
+                self._last_activity = max(self._last_activity, now)
+            self._reap(now)
+        return ScheduleResult(outcomes=self._outcomes, stats=self._aggregate())
+
+    def _aggregate(self) -> RoundStats:
+        agg = RoundStats(rounds=self._last_activity)
+        for job_id, outcome in self._outcomes.items():
+            stats = outcome.stats
+            agg.messages += stats.messages
+            agg.message_bits += stats.message_bits
+            agg.activations += stats.activations
+            agg.arbitration_stalls += stats.arbitration_stalls
+            for key, count in stats.messages_by_round.items():
+                agg.messages_by_round[key] = (
+                    agg.messages_by_round.get(key, 0) + count
+                )
+            for key, count in stats.edge_messages.items():
+                agg.edge_messages[key] = agg.edge_messages.get(key, 0) + count
+            agg.jobs[job_id] = stats.copy()
+        if self.scheduler == "async":
+            agg.virtual_time = self._last_activity
+        return agg

@@ -51,6 +51,21 @@ class RoundStats:
             of the cross-backend equivalence projection — notes describe
             *how* a run executed, not what it cost. Composition is an
             order-preserving deduplicating union.
+        arbitration_stalls: message-ticks spent queued behind the per-edge
+            bandwidth arbiter of the multi-tenant job layer
+            (:mod:`repro.congest.jobs`): each message still waiting for an
+            edge grant at the end of a tick adds one. Zero for every
+            single-tenant execution (a job running alone is never
+            arbitrated against), so the counter is not part of the
+            cross-backend equivalence projection. A plain counter: sums
+            under both sequential and parallel composition.
+        jobs: the per-job projection of a multi-tenant execution — job id
+            -> that job's own :class:`RoundStats` (round/tick counters in
+            the job's local clock). The top-level numbers are the fabric
+            aggregate; per-job ``messages``/``message_bits``/
+            ``activations``/``arbitration_stalls`` sum to it. Composition
+            is key-wise: sequential ``+`` adds same-id jobs, parallel
+            :meth:`merge` merges them.
     """
 
     rounds: int = 0
@@ -63,6 +78,8 @@ class RoundStats:
     completion_times: dict[int, int] = field(default_factory=dict)
     phases: dict[str, "RoundStats"] = field(default_factory=dict)
     notes: tuple[str, ...] = ()
+    arbitration_stalls: int = 0
+    jobs: dict[str, "RoundStats"] = field(default_factory=dict)
 
     @property
     def max_congestion(self) -> int:
@@ -94,6 +111,9 @@ class RoundStats:
         phases = dict(self.phases)
         for name, stats in other.phases.items():
             phases[name] = phases[name] + stats if name in phases else stats
+        jobs = dict(self.jobs)
+        for job_id, stats in other.jobs.items():
+            jobs[job_id] = jobs[job_id] + stats if job_id in jobs else stats
         return RoundStats(
             rounds=self.rounds + other.rounds,
             messages=self.messages + other.messages,
@@ -109,6 +129,8 @@ class RoundStats:
             ),
             phases=phases,
             notes=_merge_notes(self.notes, other.notes),
+            arbitration_stalls=self.arbitration_stalls + other.arbitration_stalls,
+            jobs=jobs,
         )
 
     def merge(self, other: "RoundStats") -> "RoundStats":
@@ -124,6 +146,9 @@ class RoundStats:
         phases = dict(self.phases)
         for name, stats in other.phases.items():
             phases[name] = phases[name].merge(stats) if name in phases else stats
+        jobs = dict(self.jobs)
+        for job_id, stats in other.jobs.items():
+            jobs[job_id] = jobs[job_id].merge(stats) if job_id in jobs else stats
         return RoundStats(
             rounds=max(self.rounds, other.rounds),
             messages=self.messages + other.messages,
@@ -139,6 +164,8 @@ class RoundStats:
             ),
             phases=phases,
             notes=_merge_notes(self.notes, other.notes),
+            arbitration_stalls=self.arbitration_stalls + other.arbitration_stalls,
+            jobs=jobs,
         )
 
     def copy(self) -> "RoundStats":
@@ -159,6 +186,8 @@ class RoundStats:
             completion_times=dict(self.completion_times),
             phases={name: stats.copy() for name, stats in self.phases.items()},
             notes=self.notes,
+            arbitration_stalls=self.arbitration_stalls,
+            jobs={job_id: stats.copy() for job_id, stats in self.jobs.items()},
         )
 
     def add_phase(self, name: str, stats: "RoundStats") -> None:
@@ -183,6 +212,11 @@ class RoundStats:
             self.completion_times, stats.completion_times
         )
         self.notes = _merge_notes(self.notes, stats.notes)
+        self.arbitration_stalls += stats.arbitration_stalls
+        for job_id, job_stats in stats.jobs.items():
+            self.jobs[job_id] = (
+                self.jobs[job_id] + job_stats if job_id in self.jobs else job_stats
+            )
 
     def summary(self) -> str:
         """One-line human-readable summary."""
@@ -193,6 +227,10 @@ class RoundStats:
             parts.append(f"activations={self.activations}")
         if self.edge_messages:
             parts.append(f"congestion={self.max_congestion}")
+        if self.arbitration_stalls:
+            parts.append(f"stalls={self.arbitration_stalls}")
+        if self.jobs:
+            parts.append(f"jobs={len(self.jobs)}")
         if self.phases:
             inner = ", ".join(f"{name}: {s.rounds}r" for name, s in self.phases.items())
             parts.append(f"phases[{inner}]")

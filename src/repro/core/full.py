@@ -59,6 +59,7 @@ def build_full_shortcut(
     escalate_on_stall: bool = False,
     escalation_factor: float = 2.0,
     seed_result: PartialShortcutResult | None = None,
+    iteration_cache: object = None,
 ) -> FullShortcutResult:
     """Iterate Theorem 3.1 until every part has a shortcut (Observation 2.7).
 
@@ -79,6 +80,18 @@ def build_full_shortcut(
             recomputing it — e.g. the successful case-I attempt the
             certifying construction just produced. Its parts and δ must
             match the request.
+        iteration_cache: optional mapping memoizing *per-iteration* partial
+            results, keyed by ``(sub_partition.parts, current_delta)`` —
+            anything with ``get``/``__setitem__``. Distinct full-shortcut
+            requests whose iteration sequences overlap (e.g. concurrent
+            jobs sharing a graph whose partitions agree on the
+            still-unsatisfied tail) then reuse each other's Theorem 3.1
+            work. Safe to share because a
+            :class:`~repro.core.partial.PartialShortcutResult` is a
+            read-only product of its key (the construction is
+            deterministic and consumes no randomness). The caller owns
+            scoping the mapping to one ``(graph, tree)`` pair — the key
+            does not include them.
 
     Raises:
         ShortcutError: on stall without escalation, when the iteration cap
@@ -111,7 +124,18 @@ def build_full_shortcut(
             result, seed_result = seed_result, None
         else:
             sub_partition = partition.restrict(graph, remaining)
-            result = build_partial_shortcut(graph, tree, sub_partition, current_delta)
+            if iteration_cache is not None:
+                cache_key = (sub_partition.parts, current_delta)
+                result = iteration_cache.get(cache_key)
+                if result is None:
+                    result = build_partial_shortcut(
+                        graph, tree, sub_partition, current_delta
+                    )
+                    iteration_cache[cache_key] = result
+            else:
+                result = build_partial_shortcut(
+                    graph, tree, sub_partition, current_delta
+                )
         history.append(result)
         iterations += 1
         if not result.satisfied:

@@ -283,7 +283,77 @@ _TREE_CACHE: "weakref.WeakKeyDictionary[nx.Graph, tuple]" = weakref.WeakKeyDicti
 # its graph is what keeps the ``id`` stable for the entry's lifetime.
 _OUTCOME_CACHE: "OrderedDict[tuple, ShortcutOutcome]" = OrderedDict()
 _CACHE_MAX_ENTRIES = 256
-_CACHE_COUNTS = {"hits": 0, "misses": 0}
+_CACHE_COUNTS = {"hits": 0, "misses": 0, "evictions": 0}
+
+# Per-provider breakdown of the same events, plus the iteration tier's.
+# Keyed by registered provider name; counters appear on first touch so
+# providers that never went through the cache stay absent.
+_PROVIDER_COUNTS: dict[str, dict[str, int]] = {}
+
+# The shared service tier for *per-iteration* partial results: concurrent
+# jobs whose full-shortcut requests differ (different deltas, different
+# option sets — distinct outcome-cache keys) still overlap iteration by
+# iteration whenever their partitions agree on the still-unsatisfied
+# tail. Entries store ``(graph, tree, result)`` so the ids in the key stay
+# stable for the entry's lifetime, mirroring the outcome cache's strong
+# references.
+_ITERATION_CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
+_ITERATION_CACHE_MAX_ENTRIES = 1024
+
+
+def _provider_counts(name: str) -> dict[str, int]:
+    counts = _PROVIDER_COUNTS.get(name)
+    if counts is None:
+        counts = _PROVIDER_COUNTS[name] = {
+            "hits": 0, "misses": 0, "evictions": 0,
+            "iteration_hits": 0, "iteration_misses": 0,
+            "iteration_evictions": 0,
+        }
+    return counts
+
+
+class _IterationCacheView:
+    """The ``iteration_cache`` mapping a provider hands to
+    :func:`~repro.core.full.build_full_shortcut`.
+
+    Scopes the per-iteration keys ``(parts, delta)`` to one
+    ``(graph, tree)`` pair (by identity, with the ``(n, m)`` signature
+    guarding the same mutation caveat as the outcome cache), charges
+    hit/miss/eviction events to the owning provider's counters, and
+    enforces the shared LRU bound.
+    """
+
+    __slots__ = ("graph", "tree", "provider")
+
+    def __init__(self, graph: nx.Graph, tree: RootedTree, provider: str):
+        self.graph = graph
+        self.tree = tree
+        self.provider = provider
+
+    def _full_key(self, key: tuple) -> tuple:
+        return (
+            id(self.graph),
+            self.graph.number_of_nodes(),
+            self.graph.number_of_edges(),
+            id(self.tree),
+            *key,
+        )
+
+    def get(self, key: tuple):
+        entry = _ITERATION_CACHE.get(self._full_key(key))
+        counts = _provider_counts(self.provider)
+        if entry is None:
+            counts["iteration_misses"] += 1
+            return None
+        _ITERATION_CACHE.move_to_end(self._full_key(key))
+        counts["iteration_hits"] += 1
+        return entry[2]
+
+    def __setitem__(self, key: tuple, result) -> None:
+        _ITERATION_CACHE[self._full_key(key)] = (self.graph, self.tree, result)
+        while len(_ITERATION_CACHE) > _ITERATION_CACHE_MAX_ENTRIES:
+            _ITERATION_CACHE.popitem(last=False)
+            _provider_counts(self.provider)["iteration_evictions"] += 1
 
 
 def resolve_delta(graph: nx.Graph, delta: float | None = None) -> float:
@@ -325,17 +395,34 @@ def resolve_tree(graph: nx.Graph, tree: RootedTree | None = None) -> RootedTree:
 
 
 def shortcut_cache_info() -> dict:
-    """Cache statistics: ``{"hits": int, "misses": int, "entries": int}``."""
-    return {**_CACHE_COUNTS, "entries": len(_OUTCOME_CACHE)}
+    """Cache statistics — a superset of the historical keys.
+
+    Returns ``{"hits", "misses", "evictions", "entries"}`` for the
+    outcome cache, ``"iteration_entries"`` for the shared per-iteration
+    tier, and ``"providers"``: a per-provider breakdown (``hits``/
+    ``misses``/``evictions`` plus the ``iteration_*`` triple), present
+    only for providers that touched a cache since the last clear.
+    """
+    return {
+        **_CACHE_COUNTS,
+        "entries": len(_OUTCOME_CACHE),
+        "iteration_entries": len(_ITERATION_CACHE),
+        "providers": {
+            name: dict(counts) for name, counts in sorted(_PROVIDER_COUNTS.items())
+        },
+    }
 
 
 def clear_shortcut_cache() -> None:
-    """Drop all memoized shortcuts, trees, deltas, and counters."""
+    """Drop all memoized shortcuts, trees, deltas, iterations, counters."""
     _OUTCOME_CACHE.clear()
+    _ITERATION_CACHE.clear()
     _TREE_CACHE.clear()
     _DELTA_CACHE.clear()
+    _PROVIDER_COUNTS.clear()
     _CACHE_COUNTS["hits"] = 0
     _CACHE_COUNTS["misses"] = 0
+    _CACHE_COUNTS["evictions"] = 0
 
 
 # ----------------------------------------------------------------------
@@ -426,6 +513,7 @@ def build_shortcut(request: ShortcutRequest) -> ShortcutOutcome:
         if cached is not None:
             _OUTCOME_CACHE.move_to_end(full_key)
             _CACHE_COUNTS["hits"] += 1
+            _provider_counts(provider.name)["hits"] += 1
             return ShortcutOutcome(
                 shortcut=cached.shortcut,
                 tree=cached.tree,
@@ -438,6 +526,7 @@ def build_shortcut(request: ShortcutRequest) -> ShortcutOutcome:
                 _quality_cache=cached._quality_cache,
             )
         _CACHE_COUNTS["misses"] += 1
+        _provider_counts(provider.name)["misses"] += 1
 
     outcome = provider.build(request, delta, tree)
     if full_key is not None:
@@ -455,7 +544,10 @@ def build_shortcut(request: ShortcutRequest) -> ShortcutOutcome:
             _quality_cache=outcome._quality_cache,
         )
         while len(_OUTCOME_CACHE) > _CACHE_MAX_ENTRIES:
-            _OUTCOME_CACHE.popitem(last=False)
+            evicted_key, _ = _OUTCOME_CACHE.popitem(last=False)
+            _CACHE_COUNTS["evictions"] += 1
+            # full_key layout: (id(graph), n, m, provider_name, ...).
+            _provider_counts(evicted_key[3])["evictions"] += 1
     return outcome
 
 
@@ -521,7 +613,9 @@ class Theorem31CentralizedProvider(ShortcutProvider):
 
     def build(self, request, delta, tree):
         result = build_full_shortcut(
-            request.graph, tree, request.partition, delta, escalate_on_stall=True
+            request.graph, tree, request.partition, delta,
+            escalate_on_stall=True,
+            iteration_cache=_IterationCacheView(request.graph, tree, self.name),
         )
         stalls = sum(1 for partial in result.per_iteration if not partial.satisfied)
         return ShortcutOutcome(

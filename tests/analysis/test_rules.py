@@ -20,10 +20,10 @@ def _rules(source, path, select=None):
 
 
 class TestRegistry:
-    def test_available_rules_is_the_shipped_six(self):
+    def test_available_rules_is_the_shipped_seven(self):
         assert available_rules() == (
             "DET-ORDER", "DET-RNG", "DET-WALL",
-            "PROTO-ROUND", "PROTO-STATE", "REG-BACKEND",
+            "PROTO-JOB", "PROTO-ROUND", "PROTO-STATE", "REG-BACKEND",
         )
 
     def test_unknown_rule_lists_registry(self):
@@ -301,3 +301,58 @@ class TestProtoState:
             "        self.degree = graph.degree\n"
         )
         assert _rules(source, APP_PATH) == []
+
+
+class TestProtoJob:
+    FAIL_READ = (
+        "class SnoopNode(NodeAlgorithm):\n"
+        "    def on_round(self, ctx, inbox):\n"
+        "        if self.fabric.job_id == 'other':\n"
+        "            return {}\n"
+        "        return {}\n"
+    )
+    FAIL_FORGE = (
+        "class ForgeNode(NodeAlgorithm):\n"
+        "    def on_round(self, ctx, inbox):\n"
+        "        self.fabric.job_id = 'victim'\n"
+        "        return {}\n"
+    )
+    PASS = (
+        "class ObliviousNode(NodeAlgorithm):\n"
+        "    def on_round(self, ctx, inbox):\n"
+        "        self.seen = len(inbox)\n"
+        "        return {}\n"
+    )
+
+    def test_fails_on_tag_read(self):
+        assert "PROTO-JOB" in _rules(self.FAIL_READ, APP_PATH)
+
+    def test_fails_on_tag_forge(self):
+        findings = [
+            f for f in analyze_source(self.FAIL_FORGE, APP_PATH)
+            if f.rule == "PROTO-JOB"
+        ]
+        assert len(findings) == 1
+        assert "forges" in findings[0].message
+
+    def test_init_is_not_exempt(self):
+        # Unlike PROTO-STATE, construction code holding a tenancy tag is
+        # already a leak — nodes must be oblivious to which tenant runs
+        # them.
+        source = (
+            "class TaggedNode(NodeAlgorithm):\n"
+            "    def __init__(self, fabric):\n"
+            "        self.tag = fabric.job_id\n"
+        )
+        assert "PROTO-JOB" in _rules(source, APP_PATH)
+
+    def test_oblivious_node_passes(self):
+        assert _rules(self.PASS, APP_PATH) == []
+
+    def test_non_node_classes_may_carry_tags(self):
+        source = (
+            "class Arbiter:\n"
+            "    def route(self, fabric):\n"
+            "        return fabric.job_id\n"
+        )
+        assert _rules(source, SIM_PATH) == []

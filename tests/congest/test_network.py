@@ -381,3 +381,120 @@ class TestWallModelAlgebra:
         finally:
             providers._REGISTRY.pop("test-wall-model", None)
             clear_shortcut_cache()
+
+
+class TestNotesAndTenancyAlgebra:
+    """Satellite (PR 8): provenance ``notes``, the arbiter's
+    ``arbitration_stalls`` counter, and the multi-tenant ``jobs``
+    projection must all survive ``__add__`` / ``merge`` / ``copy`` /
+    ``add_phase`` — notes as an order-preserving deduplicated union,
+    stalls as plain sums, and the per-job projection key-wise."""
+
+    def test_addition_unions_notes_without_duplicates(self):
+        a = RoundStats(rounds=1, notes=("vectorized", "quantized"))
+        b = RoundStats(rounds=1, notes=("quantized", "resharded"))
+        total = a + b
+        assert total.notes == ("vectorized", "quantized", "resharded")
+
+    def test_merge_unions_notes_without_duplicates(self):
+        a = RoundStats(notes=("alpha",))
+        b = RoundStats(notes=("beta", "alpha"))
+        assert a.merge(b).notes == ("alpha", "beta")
+        # Union is idempotent: merging a stats object with itself must
+        # not replicate its own annotations.
+        assert a.merge(a).notes == ("alpha",)
+
+    def test_add_phase_folds_notes_into_the_total_once(self):
+        total = RoundStats()
+        total.add_phase("one", RoundStats(rounds=1, notes=("approx",)))
+        total.add_phase("two", RoundStats(rounds=1, notes=("approx", "late")))
+        assert total.notes == ("approx", "late")
+        # The phased breakdown keeps each phase's own notes untouched.
+        assert total.phases["one"].notes == ("approx",)
+
+    def test_copy_preserves_notes(self):
+        original = RoundStats(notes=("vectorized",))
+        assert original.copy().notes == ("vectorized",)
+
+    def test_arbitration_stalls_sum_under_addition_and_merge(self):
+        a = RoundStats(rounds=2, arbitration_stalls=5)
+        b = RoundStats(rounds=3, arbitration_stalls=7)
+        assert (a + b).arbitration_stalls == 12
+        # Stalls are wasted work, not elapsed time: even the parallel
+        # (max-like) merge accumulates them across shards.
+        assert a.merge(b).arbitration_stalls == 12
+
+    def test_add_phase_accumulates_arbitration_stalls(self):
+        total = RoundStats()
+        total.add_phase("one", RoundStats(rounds=1, arbitration_stalls=4))
+        total.add_phase("two", RoundStats(rounds=1, arbitration_stalls=6))
+        assert total.arbitration_stalls == 10
+
+    def test_summary_mentions_stalls_only_when_present(self):
+        quiet = RoundStats(rounds=1)
+        assert "stalls" not in quiet.summary()
+        noisy = RoundStats(rounds=1, arbitration_stalls=3)
+        assert "stalls=3" in noisy.summary()
+
+    def test_addition_composes_jobs_projection_keywise(self):
+        a = RoundStats(
+            rounds=4,
+            jobs={
+                "sssp": RoundStats(rounds=4, messages=10),
+                "mst": RoundStats(rounds=2, messages=3),
+            },
+        )
+        b = RoundStats(
+            rounds=3,
+            jobs={"sssp": RoundStats(rounds=3, messages=5)},
+        )
+        total = a + b
+        assert set(total.jobs) == {"sssp", "mst"}
+        assert total.jobs["sssp"].rounds == 7
+        assert total.jobs["sssp"].messages == 15
+        assert total.jobs["mst"].messages == 3
+
+    def test_merge_composes_jobs_projection_with_merge_semantics(self):
+        a = RoundStats(jobs={"sssp": RoundStats(rounds=5, virtual_time=5)})
+        b = RoundStats(jobs={"sssp": RoundStats(rounds=3, virtual_time=9)})
+        merged = a.merge(b)
+        # Per-job entries compose with the same parallel semantics as the
+        # top level: rounds/virtual_time overlap (max), not add.
+        assert merged.jobs["sssp"].rounds == 5
+        assert merged.jobs["sssp"].virtual_time == 9
+
+    def test_copy_deep_copies_jobs_projection(self):
+        original = RoundStats(
+            jobs={"sssp": RoundStats(rounds=2, completion_times={0: 2})}
+        )
+        clone = original.copy()
+        assert clone == original
+        clone.jobs["sssp"].rounds = 999
+        clone.jobs["sssp"].completion_times[0] = 999
+        clone.jobs["extra"] = RoundStats()
+        assert original.jobs["sssp"].rounds == 2
+        assert original.jobs["sssp"].completion_times == {0: 2}
+        assert set(original.jobs) == {"sssp"}
+
+    def test_add_phase_accumulates_jobs_projection(self):
+        total = RoundStats()
+        total.add_phase(
+            "wave-1", RoundStats(rounds=1, jobs={"a": RoundStats(messages=2)})
+        )
+        total.add_phase(
+            "wave-2",
+            RoundStats(
+                rounds=1,
+                jobs={"a": RoundStats(messages=1), "b": RoundStats(messages=4)},
+            ),
+        )
+        assert total.jobs["a"].messages == 3
+        assert total.jobs["b"].messages == 4
+
+    def test_summary_mentions_jobs_only_when_present(self):
+        solo = RoundStats(rounds=1)
+        assert "jobs" not in solo.summary()
+        tenanted = RoundStats(
+            rounds=1, jobs={"a": RoundStats(), "b": RoundStats()}
+        )
+        assert "jobs=2" in tenanted.summary()

@@ -283,3 +283,166 @@ class TestProviderOutcomes:
             build_shortcut(
                 ShortcutRequest(graph=graph, partition=partition, scheduler="bogus")
             )
+
+
+class TestCacheEvictionAndCounters:
+    """Satellite (PR 8): the outcome cache's LRU discipline, the 256-entry
+    bound, eviction attribution, and hit/miss accounting under concurrent
+    jobs sharing the service tier."""
+
+    @pytest.fixture()
+    def stub(self):
+        from repro.core.shortcut import Shortcut
+
+        class StubProvider(ShortcutProvider):
+            name = "test-evict-stub"
+            needs_delta = False
+            needs_tree = False
+            cacheable = True
+
+            def build(self, request, delta, tree):
+                return ShortcutOutcome(
+                    shortcut=Shortcut(
+                        request.graph, request.partition,
+                        [[] for _ in request.partition],
+                    ),
+                    tree=None,
+                    stats=providers.RoundStats(rounds=1),
+                    provenance=ShortcutProvenance(provider=self.name),
+                )
+
+        register_provider(StubProvider())
+        clear_shortcut_cache()
+        yield StubProvider.name
+        providers._REGISTRY.pop(StubProvider.name, None)
+        clear_shortcut_cache()
+
+    @staticmethod
+    def _request(graph, partition, name, index):
+        # Distinct ``options`` → distinct cache keys on one graph.
+        return ShortcutRequest(
+            graph=graph, partition=partition, provider=name,
+            options={"i": index},
+        )
+
+    @pytest.fixture()
+    def scene(self):
+        graph = grid_graph(4, 4)
+        partition = voronoi_partition(graph, 2, rng=0)
+        return graph, partition
+
+    def test_entry_bound_is_256_and_enforced(self, stub, scene):
+        graph, partition = scene
+        assert providers._CACHE_MAX_ENTRIES == 256
+        overflow = 5
+        for i in range(providers._CACHE_MAX_ENTRIES + overflow):
+            build_shortcut(self._request(graph, partition, stub, i))
+            assert len(providers._OUTCOME_CACHE) <= providers._CACHE_MAX_ENTRIES
+        info = providers.shortcut_cache_info()
+        assert info["entries"] == providers._CACHE_MAX_ENTRIES
+        assert info["evictions"] == overflow
+        assert info["providers"][stub]["evictions"] == overflow
+
+    def test_eviction_order_is_lru_not_fifo(self, stub, scene):
+        graph, partition = scene
+        for i in range(providers._CACHE_MAX_ENTRIES):
+            build_shortcut(self._request(graph, partition, stub, i))
+        # Touch the oldest entry: a hit must refresh its recency...
+        build_shortcut(self._request(graph, partition, stub, 0))
+        # ...so the next insertion evicts entry 1, not entry 0.
+        build_shortcut(self._request(graph, partition, stub, 10**6))
+        assert build_shortcut(
+            self._request(graph, partition, stub, 0)
+        ).provenance.cache_hit
+        refetched = build_shortcut(self._request(graph, partition, stub, 1))
+        assert not refetched.provenance.cache_hit
+
+    def test_eviction_attributed_to_owning_provider(self, scene):
+        from repro.core.shortcut import Shortcut
+
+        graph, partition = scene
+
+        class OtherProvider(ShortcutProvider):
+            name = "test-evict-other"
+            needs_delta = False
+            needs_tree = False
+            cacheable = True
+
+            def build(self, request, delta, tree):
+                return ShortcutOutcome(
+                    shortcut=Shortcut(
+                        request.graph, request.partition,
+                        [[] for _ in request.partition],
+                    ),
+                    tree=None,
+                    stats=providers.RoundStats(rounds=1),
+                    provenance=ShortcutProvenance(provider=self.name),
+                )
+
+        class VictimProvider(OtherProvider):
+            name = "test-evict-victim"
+
+        register_provider(OtherProvider())
+        register_provider(VictimProvider())
+        try:
+            clear_shortcut_cache()
+            # The victim's single entry is the oldest; the other provider
+            # floods the cache, so every eviction past the bound lands on
+            # victim first and then on the flooder's own early entries.
+            build_shortcut(self._request(graph, partition, "test-evict-victim", 0))
+            for i in range(providers._CACHE_MAX_ENTRIES + 2):
+                build_shortcut(
+                    self._request(graph, partition, "test-evict-other", i)
+                )
+            info = providers.shortcut_cache_info()
+            assert info["providers"]["test-evict-victim"]["evictions"] == 1
+            assert info["providers"]["test-evict-other"]["evictions"] == 2
+        finally:
+            providers._REGISTRY.pop("test-evict-other", None)
+            providers._REGISTRY.pop("test-evict-victim", None)
+            clear_shortcut_cache()
+
+    def test_concurrent_jobs_never_double_count_a_hit(self, stub, scene):
+        from repro.serve import JobServer
+
+        graph, partition = scene
+        server = JobServer(graph)
+        request = self._request(graph, partition, stub, 42)
+        for _ in range(3):
+            server.submit_shortcut(request)
+        server.drain()
+        info = providers.shortcut_cache_info()
+        counts = info["providers"][stub]
+        # One construction, two hits — a hit must never also bump misses,
+        # and the aggregate mirror matches the per-provider breakdown.
+        assert counts["misses"] == 1
+        assert counts["hits"] == 2
+        assert info["misses"] == 1
+        assert info["hits"] == 2
+
+    def test_iteration_tier_survives_outcome_eviction(self):
+        # The shared per-iteration tier is keyed independently of the
+        # outcome cache: losing the memoized outcome (eviction, here
+        # simulated by popping the entry) must not force the next build to
+        # redo iterations whose (parts, delta) tail is unchanged.
+        clear_shortcut_cache()
+        graph = grid_graph(5, 5)
+        partition = voronoi_partition(graph, 3, rng=1)
+        request = ShortcutRequest(
+            graph=graph, partition=partition, provider="theorem31-centralized"
+        )
+        build_shortcut(request)
+        counts = providers.shortcut_cache_info()["providers"][
+            "theorem31-centralized"
+        ]
+        first_misses = counts["iteration_misses"]
+        assert first_misses > 0
+        assert counts["iteration_hits"] == 0
+        providers._OUTCOME_CACHE.clear()
+        build_shortcut(request)
+        counts = providers.shortcut_cache_info()["providers"][
+            "theorem31-centralized"
+        ]
+        assert counts["iteration_hits"] == first_misses
+        assert counts["iteration_misses"] == first_misses
+        clear_shortcut_cache()

@@ -144,3 +144,52 @@ class TestCertify:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestServe:
+    def test_grid_serve_multiplexes_region_jobs(self, capsys):
+        code = main(["serve", "--family", "grid", "--width", "6", "--height", "6",
+                     "--jobs", "3", "--seed", "7"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3 scoped SSSP job(s)" in out
+        for index in range(3):
+            assert f"sssp-region-{index}: completed at tick" in out
+        assert "aggregate:" in out
+        assert "jobs=3" in out
+
+    def test_serve_async_with_latency_and_inflight_cap(self, capsys):
+        code = main(["serve", "--family", "grid", "--width", "6", "--height", "6",
+                     "--jobs", "4", "--seed", "3", "--scheduler", "async",
+                     "--latency-model", "seeded-jitter", "--max-inflight", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "latency model seeded-jitter" in out
+        assert "max inflight 2" in out
+        assert out.count("completed at tick") == 4
+
+    def test_serve_rejects_non_virtual_time_scheduler(self):
+        with pytest.raises(SystemExit, match="virtual-time"):
+            main(["serve", "--family", "grid", "--width", "6", "--height", "6",
+                  "--scheduler", "dense"])
+
+    def test_serve_rejects_zero_jobs(self):
+        with pytest.raises(SystemExit, match="--jobs"):
+            main(["serve", "--family", "grid", "--width", "6", "--height", "6",
+                  "--jobs", "0"])
+
+
+class TestRegistry:
+    def test_registry_lists_every_extension_surface(self, capsys):
+        code = main(["registry"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for heading in (
+            "schedulers:", "latency models:", "shortcut providers:",
+            "lint rules:",
+        ):
+            assert heading in out
+        for name in ("event", "async", "vectorized"):
+            assert f"  {name}" in out
+        assert "  theorem31-centralized" in out
+        assert "PROTO-JOB" in out

@@ -1,0 +1,140 @@
+"""Tests for the job service front door (:mod:`repro.serve`)."""
+
+import networkx as nx
+import pytest
+
+from repro.apps.connectivity import connectivity_job
+from repro.apps.mst import mst_job
+from repro.apps.partwise import partwise_job
+from repro.apps.sssp import sssp_job
+from repro.core.providers import (
+    ShortcutRequest,
+    clear_shortcut_cache,
+    shortcut_cache_info,
+)
+from repro.graphs.partition import voronoi_partition
+from repro.serve import JobServer
+from repro.util.errors import CongestViolation
+
+
+def _grid(width=5, height=5):
+    return nx.convert_node_labels_to_integers(
+        nx.grid_2d_graph(width, height), ordering="sorted"
+    )
+
+
+class TestJobServer:
+    def test_submit_and_drain_population_jobs(self):
+        graph = _grid()
+        server = JobServer(graph)
+        for source in (0, 12, 24):
+            server.submit(sssp_job(graph, source, rng=source, job_id=f"q{source}"))
+        assert server.pending == 3
+        assert server.pending_ids() == ("q0", "q12", "q24")
+        result = server.drain()
+        assert server.pending == 0
+        assert set(result.outcomes) == {"q0", "q12", "q24"}
+        for source in (0, 12, 24):
+            assert result.outcomes[f"q{source}"].results[source] == 0
+
+    def test_duplicate_queued_id_rejected(self):
+        graph = _grid()
+        server = JobServer(graph)
+        server.submit(sssp_job(graph, 0, job_id="dup"))
+        with pytest.raises(CongestViolation, match="already queued"):
+            server.submit(sssp_job(graph, 1, job_id="dup"))
+
+    def test_drain_empty_server_is_a_noop(self):
+        result = JobServer(_grid()).drain()
+        assert result.outcomes == {}
+        assert result.stats.rounds == 0
+
+    def test_server_is_reusable_across_drains(self):
+        graph = _grid()
+        server = JobServer(graph)
+        server.submit(sssp_job(graph, 0, rng=0, job_id="first"))
+        first = server.drain()
+        server.submit(sssp_job(graph, 0, rng=0, job_id="second"))
+        second = server.drain()
+        assert (
+            first.outcomes["first"].results == second.outcomes["second"].results
+        )
+
+    def test_callbacks_fire_per_job_and_per_drain(self):
+        graph = _grid()
+        events = []
+        server = JobServer(graph, max_inflight=1)
+        server.submit(
+            sssp_job(
+                graph, 0, rng=0, job_id="a",
+                on_complete=lambda o: events.append(("job", o.job_id)),
+            )
+        )
+        server.submit(sssp_job(graph, 1, rng=1, job_id="b"))
+        server.drain(on_complete=lambda o: events.append(("drain", o.job_id)))
+        assert events == [("job", "a"), ("drain", "a"), ("drain", "b")]
+
+    def test_shortcut_queries_share_the_provider_cache(self):
+        clear_shortcut_cache()
+        graph = _grid(6, 6)
+        partition = voronoi_partition(graph, 4, rng=0)
+        server = JobServer(graph)
+        request = ShortcutRequest(
+            graph=graph, partition=partition, provider="theorem31-centralized"
+        )
+        first_id = server.submit_shortcut(request)
+        second_id = server.submit_shortcut(request)
+        assert first_id != second_id  # auto ids stay unique
+        result = server.drain()
+        first, second = result.outcomes[first_id], result.outcomes[second_id]
+        assert not first.results.provenance.cache_hit
+        assert second.results.provenance.cache_hit
+        assert second.results.shortcut is first.results.shortcut
+        info = shortcut_cache_info()
+        assert info["providers"]["theorem31-centralized"]["hits"] == 1
+        assert info["providers"]["theorem31-centralized"]["misses"] == 1
+        clear_shortcut_cache()
+
+
+class TestAppJobs:
+    def test_mst_job_matches_direct_run(self):
+        from repro.apps.mst import assign_random_weights, distributed_mst
+
+        graph = _grid()
+        weights = assign_random_weights(graph, rng=4)
+        direct = distributed_mst(graph, weights, rng=4)
+        server = JobServer(graph)
+        server.submit(mst_job(graph, weights, rng=4))
+        outcome = server.drain().outcomes["mst"]
+        assert outcome.results.edges == direct.edges
+        assert outcome.results.weight == direct.weight
+        assert outcome.stats.rounds == direct.stats.rounds
+
+    def test_connectivity_job_runs(self):
+        graph = _grid()
+        edges = [e for i, e in enumerate(graph.edges()) if i % 2 == 0]
+        server = JobServer(graph)
+        server.submit(connectivity_job(graph, edges, rng=1))
+        outcome = server.drain().outcomes["connectivity"]
+        assert outcome.results.num_components >= 1
+
+    def test_partwise_job_stats_compose_construction_and_aggregation(self):
+        graph = _grid()
+        partition = voronoi_partition(graph, 4, rng=2)
+        values = {i: i + 1 for i in range(len(partition))}
+        server = JobServer(graph)
+        server.submit(
+            partwise_job(graph, partition, values, min, rng=2)
+        )
+        outcome = server.drain().outcomes["partwise"]
+        solution = outcome.results
+        assert outcome.stats.rounds == (
+            solution.construction_stats.rounds + solution.aggregation_stats.rounds
+        )
+
+    def test_sssp_job_requires_source_in_population(self):
+        from repro.util.errors import GraphStructureError
+
+        graph = _grid()
+        with pytest.raises(GraphStructureError, match="population"):
+            sssp_job(graph, 0, nodes=[5, 6, 7])
