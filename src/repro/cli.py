@@ -41,8 +41,10 @@ def build_family(args: argparse.Namespace) -> nx.Graph:
     from repro.graphs.generators import (
         delaunay_graph,
         expanded_clique,
+        fat_tree,
         grid_graph,
         k_tree,
+        leaf_spine,
         torus_grid,
         wheel_graph,
     )
@@ -56,6 +58,13 @@ def build_family(args: argparse.Namespace) -> nx.Graph:
         "wheel": lambda: wheel_graph(args.n),
         "torus": lambda: torus_grid(args.width, args.height),
         "hypercube": lambda: hypercube_graph(args.dimension),
+        "fat-tree": lambda: fat_tree(
+            args.k_ary, oversubscription=args.oversubscription
+        ),
+        "leaf-spine": lambda: leaf_spine(
+            args.leaves, args.spines, args.hosts_per_leaf,
+            oversubscription=args.oversubscription,
+        ),
     }
     if args.family not in builders:
         raise SystemExit(f"unknown family {args.family!r}; choose from {sorted(builders)}")
@@ -72,6 +81,21 @@ def _add_family_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--r", type=int, default=8, help="clique size for expanded-clique")
     parser.add_argument("--segment", type=int, default=12, help="path length for expanded-clique")
     parser.add_argument("--dimension", type=int, default=6, help="hypercube dimension")
+    parser.add_argument(
+        "--k-ary", type=int, default=4, dest="k_ary",
+        help="fat-tree arity (k pods; even, default 4)",
+    )
+    parser.add_argument("--leaves", type=int, default=4, help="leaf-spine leaf count")
+    parser.add_argument("--spines", type=int, default=2, help="leaf-spine spine count")
+    parser.add_argument(
+        "--hosts-per-leaf", type=int, default=4, dest="hosts_per_leaf",
+        help="leaf-spine hosts per leaf switch",
+    )
+    parser.add_argument(
+        "--oversubscription", type=int, default=1,
+        help="datacenter core thinning factor: keep one in this many "
+             "core/spine switches (default 1 = fully provisioned)",
+    )
     parser.add_argument("--seed", type=int, default=0)
 
 
@@ -169,7 +193,8 @@ def _add_scheduler_arguments(parser: argparse.ArgumentParser) -> None:
         "--latency-model", default=None, dest="latency_model",
         help="per-edge latency model for --scheduler async: "
         + ", ".join(available_latency_models())
-        + " (default: uniform = lockstep-equivalent)",
+        + " (default: uniform = lockstep-equivalent; parameterized specs: "
+        "contention:<weight>, trace-driven:<path.json>)",
     )
 
 
@@ -329,15 +354,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_registry(args: argparse.Namespace) -> int:
     from repro.analysis import rule_table
-    from repro.congest.asynchronous import available_latency_models
+    from repro.congest.asynchronous import LATENCY_MODELS, available_latency_models
     from repro.congest.engine import available_schedulers
     from repro.core.providers import available_providers
+    from repro.graphs.generators import available_datacenter_topologies
 
     print("schedulers:")
     for name in available_schedulers():
         print(f"  {name}")
     print("latency models:")
     for name in available_latency_models():
+        kind = "load-dependent" if LATENCY_MODELS[name].is_dynamic else "static"
+        print(f"  {name:20s} [{kind}]")
+    print("datacenter topologies:")
+    for name in available_datacenter_topologies():
         print(f"  {name}")
     print("shortcut providers:")
     for name in available_providers():

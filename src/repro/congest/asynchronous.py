@@ -49,6 +49,9 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import heapq
+import json
+import math
+import pathlib
 
 import networkx as nx
 
@@ -65,10 +68,16 @@ from repro.util.rng import derive_node_rng
 __all__ = [
     "AsyncBackend",
     "LatencyModel",
+    "LoadDependentLatency",
+    "LinkSchedule",
     "UniformLatency",
     "SeededJitterLatency",
     "DegreeProportionalLatency",
+    "HeavyTailedLatency",
+    "ContentionLatency",
+    "TraceDrivenLatency",
     "LATENCY_MODELS",
+    "register_latency_model",
     "resolve_latency_model",
     "available_latency_models",
 ]
@@ -86,16 +95,39 @@ def _edge_hash(run_seed: int, u: int, v: int) -> int:
 
 
 class LatencyModel:
-    """One per-edge latency assignment rule.
+    """One per-edge latency assignment rule — the *static* model contract.
 
-    Subclasses set ``name`` (the registry key) and implement
-    :meth:`latency`, a deterministic function of ``(run_seed, edge)`` — no
-    shared generator, so latencies are independent of iteration order and
-    identical on every replay of a seed. :meth:`build` materializes the
-    full directed-edge table the backend executes against.
+    Subclasses set ``name`` (the registry key, see
+    :func:`register_latency_model`) and implement :meth:`latency`, a
+    deterministic function of ``(run_seed, edge)`` — no shared generator,
+    so latencies are independent of iteration order and identical on every
+    replay of a seed. :meth:`build` materializes the full directed-edge
+    table the backend executes against.
+
+    This is one of two capability classes in the registry:
+
+    * **static** (this base, ``is_dynamic = False``) — latency is a pure
+      function of ``(run_seed, edge)``, frozen into a table before the run
+      starts. ``uniform``, ``seeded-jitter``, ``degree-proportional``, and
+      ``heavy-tailed`` are static.
+    * **load-dependent** (:class:`LoadDependentLatency`,
+      ``is_dynamic = True``) — transit time is computed at *send* time
+      from the send tick and the link's instantaneous in-flight load, via
+      the narrow :class:`LinkSchedule` view the engines thread through
+      :meth:`~repro.congest.engine.MessageFabric.deliver_timed`.
+      ``contention`` and ``trace-driven`` are load-dependent.
+
+    Either way the one shared delivery convention holds: a message sent on
+    edge ``e`` at tick ``t`` is delivered at ``t + transit``, with
+    ``transit >= 1`` and ``transit == 1`` reproducing lockstep.
     """
 
     name: str = "abstract"
+
+    #: Capability flag — False for static models (pure ``(run_seed, edge)``
+    #: tables), True for load-dependent models (per-send transit via
+    #: :class:`LinkSchedule`). Engines branch on this flag, never on names.
+    is_dynamic: bool = False
 
     def latency(self, graph: nx.Graph, run_seed: int, u: int, v: int) -> int:
         """Transit time of edge ``(u, v)`` in ticks (must be >= 1)."""
@@ -115,6 +147,30 @@ class LatencyModel:
             table[(u, v)] = forward
             table[(v, u)] = backward
         return table
+
+    def schedule(self, graph: nx.Graph) -> "LinkSchedule":
+        """The per-run link schedule of a load-dependent model.
+
+        Static models have no load state to track; asking for a schedule
+        is an engine bug, not a user error, so it raises.
+        """
+        raise CongestViolation(
+            f"latency model {self.name!r} is static; it has no "
+            f"load-dependent link schedule (build a table via build())"
+        )
+
+    @classmethod
+    def from_spec(cls, arg: str) -> "LatencyModel":
+        """Instantiate from a ``name:<arg>`` spec string (CLI surface).
+
+        Models that take no parameter reject the arg uniformly; models
+        with one (``trace-driven:<path.json>``, ``contention:<weight>``)
+        override this.
+        """
+        raise CongestViolation(
+            f"latency model {cls.name!r} takes no ':<arg>' parameter "
+            f"(got {arg!r})"
+        )
 
     @property
     def is_uniform(self) -> bool:
@@ -183,11 +239,411 @@ class DegreeProportionalLatency(LatencyModel):
         return 1 + (graph.degree(u) + graph.degree(v)) // self.scale
 
 
-LATENCY_MODELS: dict[str, type[LatencyModel]] = {
-    UniformLatency.name: UniformLatency,
-    SeededJitterLatency.name: SeededJitterLatency,
-    DegreeProportionalLatency.name: DegreeProportionalLatency,
-}
+class HeavyTailedLatency(LatencyModel):
+    """Seeded Pareto-tailed per-link jitter: a few links are *very* slow.
+
+    Static (a pure ``(run_seed, edge)`` function): the canonical-edge hash
+    is mapped through the inverse Pareto CDF, ``latency =
+    ceil(scale * U^(-1/alpha))`` for ``U`` uniform in ``(0, 1]``, clipped
+    at ``cap``. With the default ``alpha = 1.5`` most links sit at
+    ``scale`` while a heavy tail of stragglers models the long-RTT links
+    real datacenter traces show; lowering ``alpha`` fattens the tail.
+    Both directions of a link agree, and runs replay byte-identically per
+    seed.
+    """
+
+    name = "heavy-tailed"
+
+    def __init__(self, alpha: float = 1.5, scale: int = 1, cap: int = 64):
+        if alpha <= 0:
+            raise CongestViolation(
+                f"heavy-tailed latency model: pareto alpha must be > 0, got {alpha}"
+            )
+        if scale < 1:
+            raise CongestViolation(
+                f"heavy-tailed latency model: pareto scale must be >= 1, got {scale}"
+            )
+        if cap < scale:
+            raise CongestViolation(
+                f"heavy-tailed latency model: pareto cap must be >= scale ({scale}), got {cap}"
+            )
+        self.alpha = alpha
+        self.scale = scale
+        self.cap = cap
+
+    def latency(self, graph, run_seed, u, v):
+        # (hash + 1) / 2^64 is uniform in (0, 1]; U = 1 gives the minimum
+        # (scale), U -> 0 the tail — clipped so one straggler link cannot
+        # push max_rounds bounds into the millions.
+        uniform = (_edge_hash(run_seed, u, v) + 1) / 2.0**64
+        draw = self.scale * uniform ** (-1.0 / self.alpha)
+        return min(self.cap, math.ceil(draw))
+
+
+class LoadDependentLatency(LatencyModel):
+    """Base for *load-dependent* models: transit is computed at send time.
+
+    The capability split (see :class:`LatencyModel`): subclasses implement
+    :meth:`transit_time`, a deterministic, **seed-free** function of
+    ``(edge, send tick, in-flight count)`` — every tenant of a shared
+    fabric observes the same physical link, so there is no per-run seed to
+    thread (randomized link behavior belongs in static models, which *are*
+    seeded). Engines obtain a fresh :class:`LinkSchedule` per run via
+    :meth:`schedule` and ask it for one transit per message; the schedule
+    owns the in-flight bookkeeping and is the only state involved, so a
+    replay of the same send sequence reproduces the same delivery times
+    byte for byte.
+    """
+
+    is_dynamic = True
+
+    def transit_time(self, u: int, v: int, tick: int, inflight: int) -> int:
+        """Transit of a message entering edge ``(u, v)`` at ``tick``.
+
+        ``inflight`` is the number of messages currently in transit on the
+        *link* ``{u, v}`` (both directions — bandwidth is a property of
+        the link, like the static models' canonical-edge hashes). Must
+        return >= 1.
+        """
+        raise NotImplementedError
+
+    def build(self, graph, run_seed):
+        raise CongestViolation(
+            f"latency model {self.name!r} is load-dependent; it has no "
+            f"static per-edge table — execute it through a LinkSchedule "
+            f"(a backend whose supports_latency_models flag is set)"
+        )
+
+    def schedule(self, graph: nx.Graph) -> "LinkSchedule":
+        """A fresh per-run :class:`LinkSchedule` bound to this model."""
+        self.prepare(graph)
+        return LinkSchedule(self)
+
+    def prepare(self, graph: nx.Graph) -> None:
+        """Fail-fast validation hook against the run's topology (no-op)."""
+
+    def worst_transit(self, max_load: int) -> int:
+        """Upper bound on one transit under ``max_load`` concurrent flows.
+
+        Used by drivers to scale timeout bounds (the dynamic analogue of
+        ``max(latency_table.values())``); a loose bound only risks a later
+        timeout, never wrong results.
+        """
+        raise NotImplementedError
+
+
+class LinkSchedule:
+    """The narrow runtime view a load-dependent model executes through.
+
+    Tracks, per undirected link, how many messages are in transit *right
+    now*, fed by the engines' timed staging queues: every granted send
+    calls :meth:`transit` exactly once, with non-decreasing ``now`` ticks
+    (the virtual-clock engines pop time in order), and the schedule
+    retires each message from the link when its delivery tick has passed.
+    A message in flight for the open interval ``(send, send + transit)``
+    contends with every send that enters the link inside it; a message
+    already delivered at tick ``t`` does not contend with sends at ``t``.
+
+    Determinism: the in-flight counts are a pure function of the send
+    sequence (edge, tick) presented to :meth:`transit`, and every engine
+    presents sends in its canonical activation order — so same seed +
+    same admission schedule means byte-identical delivery times.
+    """
+
+    __slots__ = ("model", "_inflight", "_releases")
+
+    def __init__(self, model: LoadDependentLatency):
+        self.model = model
+        self._inflight: dict[tuple[int, int], int] = {}
+        self._releases: list[tuple[int, tuple[int, int]]] = []
+
+    def load(self, u: int, v: int, now: int) -> int:
+        """Messages currently in transit on link ``{u, v}`` at ``now``."""
+        self._drain(now)
+        return self._inflight.get(_link(u, v), 0)
+
+    def transit(self, u: int, v: int, now: int) -> int:
+        """Charge one message entering edge ``(u, v)`` at tick ``now``.
+
+        Returns the transit time (>= 1) and records the message as in
+        flight on the link until ``now + transit``.
+        """
+        self._drain(now)
+        link = _link(u, v)
+        inflight = self._inflight.get(link, 0)
+        transit = self.model.transit_time(u, v, now, inflight)
+        if transit < 1:
+            raise CongestViolation(
+                f"latency model {self.model.name!r} produced a transit "
+                f"< 1 tick on edge ({u}, {v}) at tick {now}"
+            )
+        self._inflight[link] = inflight + 1
+        heapq.heappush(self._releases, (now + transit, link))
+        return transit
+
+    def _drain(self, now: int) -> None:
+        releases = self._releases
+        inflight = self._inflight
+        while releases and releases[0][0] <= now:
+            _, link = heapq.heappop(releases)
+            remaining = inflight[link] - 1
+            if remaining:
+                inflight[link] = remaining
+            else:
+                del inflight[link]
+
+
+def _link(u: int, v: int) -> tuple[int, int]:
+    """Canonical (sorted) endpoint pair: load is a property of the link."""
+    return (u, v) if u <= v else (v, u)
+
+
+class ContentionLatency(LoadDependentLatency):
+    """Flow-level bandwidth sharing: concurrent flows split link capacity.
+
+    A message entering a link that already carries ``k`` in-flight
+    messages transits in ``ceil(base * (1 + weight * k))`` ticks — the
+    fluid-flow approximation of fair bandwidth sharing (``k + 1`` flows
+    each get ``1/(k + 1)`` of the link, so transit stretches
+    proportionally; ``weight`` scales how much of the stretch is felt,
+    the knob benchmark contention sweeps turn). An unloaded link transits
+    in ``base`` ticks, so with ``base = 1`` an uncontended execution is
+    lockstep-equivalent and *all* extra virtual time is congestion cost —
+    exactly the congestion·dilation regime the shortcut bounds live in.
+
+    Seed-free and deterministic: transit depends only on the send
+    sequence, so same seed + same admission schedule replays
+    byte-identically. Spec form: ``contention:<weight>``.
+    """
+
+    name = "contention"
+
+    def __init__(self, base: int = 1, weight: float = 1.0):
+        if base < 1:
+            raise CongestViolation(f"contention base must be >= 1, got {base}")
+        if weight < 0:
+            raise CongestViolation(
+                f"contention weight must be >= 0, got {weight}"
+            )
+        self.base = base
+        self.weight = weight
+
+    @classmethod
+    def from_spec(cls, arg: str) -> "ContentionLatency":
+        try:
+            weight = float(arg)
+        except ValueError:
+            raise CongestViolation(
+                f"contention latency model: weight {arg!r} is not a number "
+                f"(spec form: contention:<weight>)"
+            ) from None
+        return cls(weight=weight)
+
+    def transit_time(self, u, v, tick, inflight):
+        return math.ceil(self.base * (1.0 + self.weight * inflight))
+
+    def worst_transit(self, max_load):
+        return math.ceil(self.base * (1.0 + self.weight * max(0, max_load)))
+
+
+class TraceDrivenLatency(LoadDependentLatency):
+    """Replay measured per-link delay traces from a JSON file.
+
+    The trace file maps canonical links to per-tick transit times::
+
+        {
+          "default": [1, 1, 2, 4, 2, 1],
+          "links": {"0-3": [2, 2, 8], "1-2": [1, 3]}
+        }
+
+    A message entering link ``{u, v}`` at send tick ``t`` transits in
+    ``trace[t]`` ticks, where ``trace`` is the link's entry in ``links``
+    (key ``"min-max"``) or, absent that, ``default``. Ticks are the
+    engine's virtual clock (global fabric time under the multi-tenant job
+    layer — a trace describes *physical* link conditions, so every tenant
+    replays the same weather). Load-independent but tick-dependent, which
+    is why it lives on the load-dependent side of the capability split:
+    a static table cannot express time-varying links.
+
+    Every failure mode — missing file, malformed JSON, a malformed entry,
+    a link with no trace, a trace shorter than the run — raises
+    :class:`~repro.util.errors.CongestViolation` with a
+    ``trace-driven latency model:`` message naming the file and the fix,
+    mirroring the registry error conventions. Spec form:
+    ``trace-driven:<path.json>``.
+    """
+
+    name = "trace-driven"
+
+    def __init__(self, trace_path: str | pathlib.Path | None = None):
+        if trace_path is None:
+            raise CongestViolation(
+                "trace-driven latency model requires a trace file: pass "
+                "TraceDrivenLatency(<path.json>) or the spec "
+                "'trace-driven:<path.json>'"
+            )
+        self.trace_path = str(trace_path)
+        self.default, self.links = _load_trace_file(self.trace_path)
+
+    @classmethod
+    def from_spec(cls, arg: str) -> "TraceDrivenLatency":
+        return cls(arg)
+
+    def prepare(self, graph):
+        """Fail fast on a link the trace cannot serve, before the run."""
+        if self.default is not None:
+            return
+        missing = [
+            (u, v) for u, v in graph.edges() if _link_key(u, v) not in self.links
+        ]
+        if missing:
+            u, v = missing[0]
+            raise CongestViolation(
+                f"trace-driven latency model: {self.trace_path!r} has no "
+                f"trace for link {_link_key(u, v)!r} (and {len(missing) - 1} "
+                f"more) and no 'default' trace; add the link or a default"
+            )
+
+    def transit_time(self, u, v, tick, inflight):
+        trace = self.links.get(_link_key(u, v), self.default)
+        if trace is None:
+            raise CongestViolation(
+                f"trace-driven latency model: {self.trace_path!r} has no "
+                f"trace for link {_link_key(u, v)!r} and no 'default' trace"
+            )
+        if tick >= len(trace):
+            raise CongestViolation(
+                f"trace-driven latency model: trace for link "
+                f"{_link_key(u, v)!r} in {self.trace_path!r} has "
+                f"{len(trace)} entries but the run reached send tick "
+                f"{tick}; extend the trace or shorten the run"
+            )
+        return trace[tick]
+
+    def worst_transit(self, max_load):
+        worst = max(self.default or [1])
+        for trace in self.links.values():
+            worst = max(worst, max(trace))
+        return worst
+
+
+def _link_key(u: int, v: int) -> str:
+    a, b = _link(u, v)
+    return f"{a}-{b}"
+
+
+def _load_trace_file(
+    path: str,
+) -> tuple[list[int] | None, dict[str, list[int]]]:
+    """Parse and validate a trace file; uniform errors name file and fix."""
+    try:
+        text = pathlib.Path(path).read_text()
+    except FileNotFoundError:
+        raise CongestViolation(
+            f"trace-driven latency model: trace file {path!r} not found"
+        ) from None
+    except OSError as exc:
+        raise CongestViolation(
+            f"trace-driven latency model: cannot read {path!r} ({exc})"
+        ) from None
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CongestViolation(
+            f"trace-driven latency model: {path!r} is not valid JSON ({exc})"
+        ) from None
+    if not isinstance(data, dict):
+        raise CongestViolation(
+            f"trace-driven latency model: {path!r} must be a JSON object "
+            f"with optional 'default' and 'links' keys, got "
+            f"{type(data).__name__}"
+        )
+    unknown = sorted(set(data) - {"default", "links"})
+    if unknown:
+        raise CongestViolation(
+            f"trace-driven latency model: {path!r} has unknown key(s) "
+            f"{', '.join(map(repr, unknown))}; expected 'default' and/or "
+            f"'links'"
+        )
+
+    def check_trace(label: str, trace: object) -> list[int]:
+        if (
+            not isinstance(trace, list)
+            or not trace
+            or not all(
+                isinstance(t, int) and not isinstance(t, bool) and t >= 1
+                for t in trace
+            )
+        ):
+            raise CongestViolation(
+                f"trace-driven latency model: {path!r} trace {label} must "
+                f"be a non-empty list of integer transits >= 1"
+            )
+        return trace
+
+    default = None
+    if "default" in data:
+        default = check_trace("'default'", data["default"])
+    links: dict[str, list[int]] = {}
+    raw_links = data.get("links", {})
+    if not isinstance(raw_links, dict):
+        raise CongestViolation(
+            f"trace-driven latency model: {path!r} 'links' must be an "
+            f"object mapping 'min-max' link keys to traces"
+        )
+    for key, trace in raw_links.items():
+        parts = key.split("-")
+        if len(parts) != 2 or not all(p.isdigit() for p in parts):
+            raise CongestViolation(
+                f"trace-driven latency model: {path!r} link key {key!r} "
+                f"is not of the canonical 'min-max' form (two node ids, "
+                f"smaller first)"
+            )
+        a, b = int(parts[0]), int(parts[1])
+        if a > b:
+            raise CongestViolation(
+                f"trace-driven latency model: {path!r} link key {key!r} "
+                f"is not canonical (smaller node id first: "
+                f"{_link_key(a, b)!r})"
+            )
+        links[key] = check_trace(repr(key), trace)
+    return default, links
+
+
+LATENCY_MODELS: dict[str, type[LatencyModel]] = {}
+
+
+def register_latency_model(
+    model: type[LatencyModel], replace_existing: bool = False
+) -> None:
+    """Register a :class:`LatencyModel` class under ``model.name``.
+
+    Mirrors :func:`repro.congest.engine.register_backend`: the name
+    becomes resolvable everywhere a ``latency_model=`` argument or
+    ``--latency-model`` flag is accepted, and appears in
+    ``repro registry`` output. Static models (pure ``(run_seed, edge)``
+    tables) subclass :class:`LatencyModel`; load-dependent models
+    (transit from instantaneous link load) subclass
+    :class:`LoadDependentLatency` — see ``docs/latency-models.md`` for
+    the two contracts and ``docs/extending.md`` for a worked example.
+
+    Raises:
+        ValueError: when the name is taken and ``replace_existing`` is
+            False.
+    """
+    if model.name in LATENCY_MODELS and not replace_existing:
+        raise ValueError(
+            f"latency model {model.name!r} is already registered"
+        )
+    LATENCY_MODELS[model.name] = model
+
+
+register_latency_model(UniformLatency)
+register_latency_model(SeededJitterLatency)
+register_latency_model(DegreeProportionalLatency)
+register_latency_model(HeavyTailedLatency)
+register_latency_model(ContentionLatency)
+register_latency_model(TraceDrivenLatency)
 
 
 def available_latency_models() -> tuple[str, ...]:
@@ -199,11 +655,19 @@ def resolve_latency_model(
     spec: str | LatencyModel | None,
     exc: type[Exception] = ValueError,
 ) -> LatencyModel:
-    """Resolve a name / instance / ``None`` (= uniform) to a model.
+    """Resolve a name / ``name:arg`` spec / instance / ``None`` to a model.
+
+    ``None`` means uniform (lockstep-equivalent). String specs may carry
+    one model parameter after a colon — ``trace-driven:<path.json>``,
+    ``contention:<weight>`` — which :meth:`LatencyModel.from_spec`
+    interprets; construction failures (a missing trace file, a non-numeric
+    weight) are re-raised as ``exc`` so every API boundary reports them
+    uniformly.
 
     Raises:
         exc: unknown model name (the message lists the registry, matching
-            the scheduler- and provider-registry error conventions).
+            the scheduler- and provider-registry error conventions) or a
+            model-construction failure.
     """
     if spec is None:
         return UniformLatency()
@@ -211,13 +675,23 @@ def resolve_latency_model(
         return spec
     # Non-string specs (a list, a class, ...) must fail with the caller's
     # exception type too, not leak a TypeError from the dict lookup.
-    model_cls = LATENCY_MODELS.get(spec) if isinstance(spec, str) else None
+    model_cls = arg = None
+    if isinstance(spec, str):
+        name, colon, arg = spec.partition(":")
+        model_cls = LATENCY_MODELS.get(name)
+        if not colon:
+            arg = None
     if model_cls is None:
         raise exc(
             f"unknown latency model {spec!r}; registered latency models: "
             f"{', '.join(available_latency_models())}"
         )
-    return model_cls()
+    try:
+        return model_cls() if arg is None else model_cls.from_spec(arg)
+    except CongestViolation as err:
+        if exc is CongestViolation:
+            raise
+        raise exc(str(err)) from None
 
 
 class AsyncBackend(SchedulerBackend):
@@ -239,27 +713,35 @@ class AsyncBackend(SchedulerBackend):
 
     def execute(self, net, algorithms, run_seed, max_rounds, raise_on_timeout):
         model = resolve_latency_model(getattr(net, "latency_model", None))
-        latencies = model.build(net.graph, run_seed)
+        if model.is_dynamic:
+            # Load-dependent path (the capability split): no static table
+            # exists — the fabric computes each transit at send time from
+            # the link's instantaneous in-flight count, via a fresh
+            # per-run LinkSchedule. Seed-free by contract.
+            latencies, link_schedule = None, model.schedule(net.graph)
+        else:
+            latencies, link_schedule = model.build(net.graph, run_seed), None
         loop = asyncio.new_event_loop()
         try:
             return loop.run_until_complete(
                 self._drive(
                     net, algorithms, run_seed, max_rounds, raise_on_timeout,
-                    latencies,
+                    latencies, link_schedule,
                 )
             )
         finally:
             loop.close()
 
     async def _drive(
-        self, net, algorithms, run_seed, max_rounds, raise_on_timeout, latencies
+        self, net, algorithms, run_seed, max_rounds, raise_on_timeout,
+        latencies, link_schedule=None,
     ):
         nodes = net._nodes
         index = net._index
         stats = RoundStats()
         fabric = MessageFabric(
             net._neighbor_sets, net.bandwidth_bits, net.enforce_bandwidth,
-            stats, latencies=latencies,
+            stats, latencies=latencies, link_schedule=link_schedule,
         )
         contexts = {
             v: NodeContext(

@@ -82,6 +82,17 @@ def register_backend(
 ) -> None:
     """Register a backend class under ``backend.name``.
 
+    Registration is the only doorway into the scheduler surface: the
+    name immediately works as ``SyncNetwork(scheduler=...)``, the CLI
+    ``--scheduler`` flag, and a row in ``python -m repro registry`` —
+    and the byte-equivalence suite (``tests/congest/test_scheduler.py``)
+    parametrizes over the registry, so a registered backend is held to
+    the same results-and-``RoundStats`` identity as the built-ins.
+    Backends whose optional dependency is missing should call
+    :func:`register_unavailable_backend` instead, so naming them raises
+    the install hint rather than an unknown-name error. A minimal
+    working example lives in ``docs/extending.md``.
+
     Raises:
         ValueError: when the name is taken and ``replace_existing`` is
             False.
@@ -208,7 +219,7 @@ class MessageFabric:
 
     __slots__ = (
         "neighbor_sets", "bandwidth_bits", "enforce_bandwidth", "stats",
-        "latencies", "job_id", "arbiter",
+        "latencies", "link_schedule", "job_id", "arbiter",
     )
 
     def __init__(
@@ -218,6 +229,7 @@ class MessageFabric:
         enforce_bandwidth: bool,
         stats: RoundStats,
         latencies: dict[tuple[int, int], int] | None = None,
+        link_schedule: object = None,
         job_id: str | None = None,
         arbiter: object = None,
     ):
@@ -228,6 +240,11 @@ class MessageFabric:
         # Per-directed-edge transit times in ticks (>= 1), or None for the
         # lockstep backends (every message takes exactly one round).
         self.latencies = latencies
+        # Load-dependent latency models hand the fabric a LinkSchedule
+        # instead of a table: transit is computed per send from the link's
+        # instantaneous in-flight count (repro.congest.asynchronous's
+        # capability split). Mutually exclusive with `latencies`.
+        self.link_schedule = link_schedule
         # Tenancy tagging (the multi-tenant job layer, repro.congest.jobs):
         # every message this fabric carries belongs to `job_id`, and when an
         # `arbiter` is attached sends are submitted to it for per-edge
@@ -319,10 +336,19 @@ class MessageFabric:
             return []
         stats = self.stats
         latencies = self.latencies
+        link_schedule = self.link_schedule
         new_times: list[int] = []
         for target, payload in outbox.items():
             bits = self.validate(sender, target, payload)
-            arrive = now + (latencies[(sender, target)] if latencies else 1)
+            if link_schedule is not None:
+                # Load-dependent path: transit is computed at send time
+                # from the link's instantaneous in-flight count. Callers
+                # present sends in non-decreasing `now` order (the
+                # virtual-clock engines pop time in order), which is the
+                # schedule's determinism contract.
+                arrive = now + link_schedule.transit(sender, target, now)
+            else:
+                arrive = now + (latencies[(sender, target)] if latencies else 1)
             bucket = arrivals.get(arrive)
             if bucket is None:
                 bucket = arrivals[arrive] = {}

@@ -237,9 +237,23 @@ class EdgeArbiter:
         self.stalls = 0
         self.total_pending = 0
         self._states: dict[str, _JobState] = {}
+        # Edge iteration order for resolve/drop. Grants on different edges
+        # are independent (per-edge capacity, per-edge rr pointers, summed
+        # stats), so the order is behavior-neutral for static latencies —
+        # but under a load-dependent model the shared LinkSchedule charges
+        # transits in grant order, so the scheduler pins a global
+        # node-*index* order to match the direct backends' activation
+        # order (the solo-identity contract).
+        self.sort_key: Callable[[tuple], tuple] = _edge_sort_key
 
-    def bind(self, states: dict[str, _JobState]) -> None:
+    def bind(
+        self,
+        states: dict[str, _JobState],
+        sort_key: Callable[[tuple], tuple] | None = None,
+    ) -> None:
         self._states = states
+        if sort_key is not None:
+            self.sort_key = sort_key
 
     def submit(self, fabric, sender, sender_index, target, payload, bits) -> None:
         """Queue one validated send (called from ``MessageFabric``)."""
@@ -254,7 +268,7 @@ class EdgeArbiter:
 
     def drop(self, state: _JobState) -> None:
         """Forget a timed-out job's queued sends."""
-        for edge in sorted(self.pending, key=_edge_sort_key):
+        for edge in sorted(self.pending, key=self.sort_key):
             per_slot = self.pending[edge]
             queue = per_slot.pop(state.slot, None)
             if queue:
@@ -274,7 +288,7 @@ class EdgeArbiter:
         """
         if not self.pending:
             return False
-        for edge in sorted(self.pending, key=_edge_sort_key):
+        for edge in sorted(self.pending, key=self.sort_key):
             per_slot = self.pending[edge]
             granted = 0
             while granted < self.capacity and per_slot:
@@ -315,8 +329,17 @@ class JobScheduler:
             namesake backend tick for tick, so a solo job is
             byte-identical to a direct ``SyncNetwork`` run.
         latency_model: per-edge latency model, ``"async"`` mode only.
-            Latency tables are built per job from the job's own run seed
-            (the solo-identity contract), so jitter is per-flow.
+            Static models build a latency table per job from the job's
+            own run seed (the solo-identity contract), so jitter is
+            per-flow. Load-dependent models
+            (:class:`~repro.congest.asynchronous.LoadDependentLatency`:
+            ``contention``, ``trace-driven``) instead share one
+            :class:`~repro.congest.asynchronous.LinkSchedule` across all
+            tenants in global ticks — concurrent jobs on a link slow each
+            other down, so tenant contention costs virtual time, not just
+            ``arbitration_stalls``. They are seed-free by contract, which
+            keeps the shared schedule well-defined and solo runs
+            byte-identical to the direct backend.
         bandwidth_bits: per-message budget applied to every job; default
             per job is the ``SyncNetwork`` rule over the job's population
             size.
@@ -401,7 +424,7 @@ class JobScheduler:
             graph_view = self.graph.subgraph(nodes)
         state.latencies = (
             self._model.build(graph_view, run_seed)
-            if self.scheduler == "async"
+            if self.scheduler == "async" and not self._model.is_dynamic
             else None
         )
         bandwidth = self.bandwidth_bits
@@ -472,9 +495,20 @@ class JobScheduler:
         the accounting is byte-identical to the direct backends; under
         contention a deferred message is charged (and starts its transit)
         at its grant.
+
+        Under a load-dependent model the transit comes from the *shared*
+        link schedule, in global ticks: every tenant of the fabric loads
+        the same physical links, so cross-tenant contention costs virtual
+        time (on top of the grant delay charged to
+        ``arbitration_stalls``). Load-dependent models are seed-free by
+        contract, which is what makes one schedule across tenants
+        well-defined — and solo identity automatic.
         """
         rel = now - state.offset
-        arrive = rel + (state.latencies[(sender, target)] if state.latencies else 1)
+        if self._link_schedule is not None:
+            arrive = rel + self._link_schedule.transit(sender, target, now)
+        else:
+            arrive = rel + (state.latencies[(sender, target)] if state.latencies else 1)
         bucket = state.arrivals.setdefault(arrive, {})
         bucket.setdefault(target, []).append((sender_index, sender, payload))
         state.stats.record_message(sender, target, bits, rel)
@@ -644,7 +678,19 @@ class JobScheduler:
         }
         self._arbiter = EdgeArbiter(self.capacity)
         self._states: dict[str, _JobState] = {}
-        self._arbiter.bind(self._states)
+        gindex = self._gindex
+        self._arbiter.bind(
+            self._states,
+            sort_key=lambda edge: (gindex[edge[0]], gindex[edge[1]]),
+        )
+        # One link schedule per run, shared by every tenant (global
+        # ticks): load-dependent transit is a property of the physical
+        # link, so concurrent jobs on a link slow each other down.
+        self._link_schedule = (
+            self._model.schedule(self.graph)
+            if self.scheduler == "async" and self._model.is_dynamic
+            else None
+        )
         self._running: list[_JobState] = []
         self._queue: deque[Job] = deque(jobs)
         self._outcomes: dict[str, JobOutcome] = {}

@@ -127,6 +127,16 @@ class VectorKernel:
     of the FPGA graph engines. Kernels are message-driven: there is no
     keep-alive or timer surface on the columnar path (algorithms needing
     one stay on the interpreted tier).
+
+    The contract a kernel signs up for: reproduce the interpreted
+    messaging **bit-for-bit** — same messages, same per-message bit
+    costs, same per-edge congestion counters — because the cross-backend
+    equivalence suite compares full ``RoundStats``, not just results.
+    ``BfsVectorKernel`` (``repro/congest/primitives/bfs.py``) is the
+    smallest shipped example; the skeleton is sketched in
+    ``docs/extending.md``. Populations a kernel cannot express delegate
+    transparently to the ``event`` backend with a provenance note in
+    ``RoundStats.notes``.
     """
 
     #: State columns the kernel allocates, ``name -> numpy dtype`` —

@@ -478,13 +478,36 @@ class ShortcutProvider:
 def build_shortcut(request: ShortcutRequest) -> ShortcutOutcome:
     """The single entry point for obtaining shortcuts.
 
-    Resolves the provider, auto-resolves delta/tree where needed, serves
-    memoized outcomes for cacheable providers, and otherwise delegates to
-    the provider's construction.
+    Every application funnels through here — there is no other supported
+    way to run a construction. Resolves the provider from the registry,
+    auto-resolves ``delta`` (analytic-or-degeneracy) and the BFS ``tree``
+    where the provider needs them (both memoized per graph), serves
+    memoized :class:`ShortcutOutcome` objects for cacheable providers,
+    and otherwise delegates to the provider's construction.
+
+    Example::
+
+        from repro.core.providers import ShortcutRequest, build_shortcut
+
+        outcome = build_shortcut(ShortcutRequest(
+            graph, partition, provider="theorem31-centralized",
+            scheduler="async", latency_model="contention:1.0",
+        ))
+        outcome.shortcut          # the constructed Shortcut
+        outcome.stats             # measured RoundStats (virtual_time under
+                                  # a latency model)
+        outcome.quality()         # lazy, memoized ShortcutQuality
+        outcome.provenance        # iterations / escalations / cache hits
+
+    ``scheduler`` / ``workers`` / ``latency_model`` on the request select
+    how measured constructions execute, with the same validation as
+    :class:`~repro.congest.network.SyncNetwork` (a latency model on a
+    backend that does not support one is rejected here, uniformly).
 
     Raises:
         ShortcutError: unknown provider/method/construction, bad
-            scheduler/workers, or any provider-specific failure.
+            scheduler/workers/latency-model, or any provider-specific
+            failure.
     """
     provider = get_provider(request.provider_name())
     validate_scheduler(

@@ -20,6 +20,13 @@ from repro.graphs.generators.classic import (
     random_regular_expander,
     wheel_graph,
 )
+from repro.graphs.generators.datacenter import (
+    DATACENTER_TOPOLOGIES,
+    available_datacenter_topologies,
+    fat_tree,
+    get_datacenter_topology,
+    leaf_spine,
+)
 from repro.graphs.generators.genus import planar_with_handles, torus_grid
 from repro.graphs.generators.lowerbound import (
     LowerBoundInstance,
@@ -39,6 +46,11 @@ from repro.graphs.generators.treewidth import k_tree, partial_k_tree
 
 __all__ = [
     "broom_graph",
+    "DATACENTER_TOPOLOGIES",
+    "available_datacenter_topologies",
+    "fat_tree",
+    "get_datacenter_topology",
+    "leaf_spine",
     "cycle_graph",
     "path_graph",
     "wheel_graph",

@@ -185,16 +185,23 @@ def partwise_aggregate(
         raise ShortcutError(f"unknown queue_discipline {queue_discipline!r}")
     rng = ensure_rng(rng)
     latencies = None
+    link_schedule = None
+    model = None
     if latency_model is not None:
         from repro.congest.asynchronous import resolve_latency_model
 
         model = resolve_latency_model(latency_model, ShortcutError)
-        # One draw per run, and only when the model is genuinely
-        # non-uniform: "uniform" must stay byte-identical to no model at
-        # all (rng stream included), so it must not consume the draw its
-        # build() would ignore anyway. Latencies derive from
-        # (run_seed, edge).
-        if not model.is_uniform:
+        if model.is_dynamic:
+            # Load-dependent model (the capability split): transit is
+            # computed per packet from the link's instantaneous in-flight
+            # count. Seed-free by contract, so no rng draw here either.
+            link_schedule = model.schedule(graph)
+        elif not model.is_uniform:
+            # One draw per run, and only when the model is genuinely
+            # non-uniform: "uniform" must stay byte-identical to no model
+            # at all (rng stream included), so it must not consume the
+            # draw its build() would ignore anyway. Latencies derive from
+            # (run_seed, edge).
             latencies = model.build(graph, rng.randrange(2**62))
     plans = plan_routing_trees(graph, partition, shortcut)
 
@@ -221,6 +228,13 @@ def partwise_aggregate(
         if latencies:
             # Every hop may take up to the slowest transit time.
             max_rounds *= max(latencies.values())
+        elif link_schedule is not None:
+            # Dynamic analogue: at most 2*max_load packets share a link at
+            # once (one entry per directed edge per tick, both directions),
+            # so every hop is bounded by the model's worst transit under
+            # that load. Loose only risks a later timeout, never wrong
+            # results.
+            max_rounds *= max(1, model.worst_transit(2 * max_load))
 
     # --- Per-part per-node execution state ---------------------------------
     pending: list[dict[int, int]] = []  # children still to report, per node
@@ -302,7 +316,16 @@ def partwise_aggregate(
             # Shared delivery convention with the async scheduler backend
             # (MessageFabric.deliver_timed): sent at tick t, delivered at
             # t + latency(e); latency 1 == the lockstep r -> r+1 schedule.
-            arrive = send_tick + (latencies[edge] if latencies is not None else 1)
+            # Load-dependent models compute the transit here, at send
+            # time, from the link's instantaneous in-flight count (ticks
+            # are monotone across rounds; queues iterate in deterministic
+            # insertion order within one).
+            if link_schedule is not None:
+                arrive = send_tick + link_schedule.transit(
+                    edge[0], edge[1], send_tick
+                )
+            else:
+                arrive = send_tick + (latencies[edge] if latencies is not None else 1)
             in_flight.setdefault(arrive, []).append((edge, packet))
         for (source, target), packet in in_flight.pop(current_round, ()):
             kind, part, value = packet
@@ -329,7 +352,7 @@ def partwise_aggregate(
     stats.rounds = max(completion.values(), default=0) if len(completion) == len(
         plans
     ) else current_round
-    if latencies is not None:
+    if latencies is not None or link_schedule is not None:
         # Latency-realistic run: ticks are virtual time, the wall-model
         # dimension round counts cannot express.
         stats.virtual_time = stats.rounds

@@ -41,6 +41,34 @@ __all__ = ["JobServer"]
 class JobServer:
     """Admission-controlled queue of jobs over one shared graph.
 
+    The multi-tenant front door: submit jobs (population tenants or
+    atomic calls), then :meth:`drain`; results and per-job
+    ``RoundStats`` come back keyed by ``job_id``. The layer is pure
+    multiplexing — a job running alone is bit-for-bit identical to the
+    same algorithms driven directly by
+    :class:`~repro.congest.network.SyncNetwork`.
+
+    Example::
+
+        from repro.apps.sssp import sssp_job
+        from repro.serve import JobServer
+
+        server = JobServer(graph, scheduler="async",
+                           latency_model="contention:1.0", max_inflight=2)
+        for i, region in enumerate(regions):
+            server.submit(sssp_job(graph, min(region), nodes=region,
+                                   rng=i, job_id=f"tenant-{i}"))
+        result = server.drain()
+        result.outcomes["tenant-0"].results   # per-job results
+        result.stats.jobs["tenant-0"]         # per-job RoundStats
+
+    Under a static latency model each tenant's edges keep their seeded
+    latencies; under a load-dependent model (``contention:<w>``,
+    ``trace-driven:<path>``) all tenants share one link schedule in
+    global ticks, so cross-tenant load on a link stretches everyone's
+    transit — contention costs *time*, on top of the
+    ``arbitration_stalls`` counter that records deferred grants.
+
     Args:
         graph: the shared communication topology every job runs on.
         scheduler: job-layer execution mode (``"event"`` or ``"async"``),

@@ -1,0 +1,108 @@
+"""The datacenter fabric generators: structure, metadata, registry."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import (
+    DATACENTER_TOPOLOGIES,
+    available_datacenter_topologies,
+    fat_tree,
+    get_datacenter_topology,
+    leaf_spine,
+)
+from repro.util.errors import GraphStructureError
+
+
+class TestFatTree:
+    def test_full_provisioning_counts(self):
+        k = 4
+        graph = fat_tree(k)
+        half = k // 2
+        roles = nx.get_node_attributes(graph, "role")
+        counts = {role: list(roles.values()).count(role) for role in set(roles.values())}
+        assert counts == {
+            "core": half * half,
+            "agg": k * half,
+            "edge": k * half,
+            "host": k * half * half,
+        }
+        assert graph.graph["family"] == "fat_tree"
+        assert graph.graph["hosts"] == k**3 // 4
+        assert graph.graph["core_switches"] == half * half
+
+    def test_generator_contract(self):
+        graph = fat_tree(4)
+        assert sorted(graph.nodes()) == list(range(graph.number_of_nodes()))
+        assert nx.is_connected(graph)
+        assert graph.graph["delta_upper"] is None
+
+    def test_edge_structure(self):
+        k, half = 4, 2
+        graph = fat_tree(k)
+        roles = nx.get_node_attributes(graph, "role")
+        # Every host hangs off exactly one edge switch; every edge switch
+        # carries k/2 hosts and k/2 aggregation uplinks.
+        for node, role in roles.items():
+            neighbor_roles = sorted(roles[m] for m in graph.neighbors(node))
+            if role == "host":
+                assert neighbor_roles == ["edge"]
+            elif role == "edge":
+                assert neighbor_roles == ["agg"] * half + ["host"] * half
+
+    def test_oversubscription_thins_cores_but_stays_connected(self):
+        full = fat_tree(4)
+        thin = fat_tree(4, oversubscription=2)
+        assert thin.graph["core_switches"] < full.graph["core_switches"]
+        assert thin.graph["core_switches"] >= 4 // 2  # one per group
+        assert nx.is_connected(thin)
+        # Hosts are untouched; only the core tier thins.
+        assert thin.graph["hosts"] == full.graph["hosts"]
+
+    @pytest.mark.parametrize("k", [0, 3, -2])
+    def test_rejects_bad_k(self, k):
+        with pytest.raises(GraphStructureError, match="fat-tree"):
+            fat_tree(k)
+
+    @pytest.mark.parametrize("s", [0, 3])
+    def test_rejects_bad_oversubscription(self, s):
+        with pytest.raises(GraphStructureError, match="oversubscription"):
+            fat_tree(4, oversubscription=s)
+
+
+class TestLeafSpine:
+    def test_structure_and_metadata(self):
+        graph = leaf_spine(leaves=4, spines=2, hosts_per_leaf=3)
+        assert nx.is_connected(graph)
+        assert sorted(graph.nodes()) == list(range(graph.number_of_nodes()))
+        assert graph.graph["family"] == "leaf_spine"
+        assert graph.graph["hosts"] == 12
+        roles = nx.get_node_attributes(graph, "role")
+        spines = [v for v, role in roles.items() if role == "spine"]
+        leaves = [v for v, role in roles.items() if role == "edge"]
+        # Full bipartite leaf-spine connection.
+        assert all(graph.has_edge(s, leaf) for s in spines for leaf in leaves)
+
+    def test_oversubscription_thins_spines(self):
+        graph = leaf_spine(leaves=4, spines=4, hosts_per_leaf=2, oversubscription=2)
+        assert graph.graph["spines"] == 2
+        assert nx.is_connected(graph)
+
+    def test_rejects_bad_tiers(self):
+        with pytest.raises(GraphStructureError, match="leaf-spine"):
+            leaf_spine(leaves=0)
+        with pytest.raises(GraphStructureError, match="oversubscription"):
+            leaf_spine(spines=2, oversubscription=3)
+
+
+class TestRegistry:
+    def test_listing(self):
+        assert available_datacenter_topologies() == ("fat-tree", "leaf-spine")
+        assert set(DATACENTER_TOPOLOGIES) == {"fat-tree", "leaf-spine"}
+
+    def test_lookup(self):
+        assert get_datacenter_topology("fat-tree") is fat_tree
+        assert get_datacenter_topology("leaf-spine") is leaf_spine
+
+    def test_unknown_name_lists_registry(self):
+        with pytest.raises(GraphStructureError, match="fat-tree, leaf-spine"):
+            get_datacenter_topology("clos")
