@@ -5,7 +5,10 @@ Paper claims measured here:
 * the computed min cut is exact (cross-checked against Stoer–Wagner) on
   the bounded-δ families;
 * the paper's observation λ ≤ 2δ holds on every instance;
-* measured rounds stay polynomial in δ times O~(D) (reported).
+* measured rounds stay polynomial in δ times O~(D) (reported);
+* measured per-edge congestion (the ``RoundStats.edge_messages``
+  counters, reported as max/edges-touched columns like E8's MST table)
+  stays within the packing's trees × per-tree aggregation budget.
 """
 
 import networkx as nx
@@ -27,6 +30,15 @@ def _run():
         result = distributed_mincut(graph, rng=5, num_trees=num_trees)
         true_value = nx.stoer_wagner(graph, weight=None)[0]
         delta = graph.graph["delta_upper"]
+        # Measured per-edge congestion: every packed tree runs its own MST
+        # phases plus one evaluation pass over the same fabric, so the
+        # busiest directed edge carries at most trees x (rounds-per-tree)
+        # messages — a loose but honest ceiling the measurement must obey.
+        max_congestion = result.stats.max_congestion
+        congestion_bound = result.trees_packed * result.stats.rounds
+        assert 1 <= max_congestion <= congestion_bound, (
+            name, max_congestion, congestion_bound,
+        )
         rows.append(
             [
                 name,
@@ -35,6 +47,8 @@ def _run():
                 degree_bound_from_density(delta),
                 result.trees_packed,
                 result.stats.rounds,
+                max_congestion,
+                len(result.stats.edge_messages),
                 result.used_two_respecting,
             ]
         )
@@ -48,7 +62,8 @@ def test_e09_mincut(benchmark):
     report(
         "e09_mincut",
         "Corollary 1.7: exact min cut via tree packing (vs Stoer-Wagner)",
-        ["instance", "true cut", "found", "2*delta bound", "trees", "rounds", "2-respecting"],
+        ["instance", "true cut", "found", "2*delta bound", "trees", "rounds",
+         "max congestion", "edges touched", "2-respecting"],
         rows,
     )
     graph = grid_graph(6, 6)

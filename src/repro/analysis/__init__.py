@@ -8,12 +8,23 @@ behind the registry, no shared-state mutation from node code. This package
 mechanizes them:
 
 * :mod:`repro.analysis.rules` — the rule registry (the scheduler/provider
-  registry idiom) and the six shipped rules: ``DET-RNG``, ``DET-ORDER``,
-  ``DET-WALL``, ``PROTO-ROUND``, ``REG-BACKEND``, ``PROTO-STATE``;
-* :mod:`repro.analysis.engine` — file discovery, rule dispatch, and the
+  registry idiom) and the per-file rules: ``DET-RNG``, ``DET-ORDER``,
+  ``DET-WALL``, ``PROTO-ROUND``, ``REG-BACKEND``, ``PROTO-STATE``,
+  ``PROTO-JOB``;
+* :mod:`repro.analysis.project` — the whole-program :class:`ProjectModel`
+  (import graph, class hierarchy, call graph, constant table) behind
+  ``repro lint --project``, which makes the per-file rules
+  inter-procedural (taint through helpers and cross-module calls);
+* :mod:`repro.analysis.protocol` — the project-only message-schema rules
+  ``PROTO-MSG`` (tags sent vs. handled, payload arities, across the
+  interpreted/kernel split) and ``KERNEL-EQ`` (``VectorKernel`` companion
+  vs. interpreted class: dtypes, emitted tags, arities);
+* :mod:`repro.analysis.engine` — file discovery, rule dispatch, the
   ``# repro: allow[RULE] reason`` suppression syntax with unused/unknown/
-  unjustified-suppression hygiene;
-* :mod:`repro.analysis.report` — text / JSON / GitHub-annotation output.
+  unjustified-suppression hygiene, and the ``--baseline`` ratchet
+  (frozen findings pass, new ones fail, fixed ones report as stale);
+* :mod:`repro.analysis.report` — text / JSON / GitHub-annotation / SARIF
+  output.
 
 The CLI front end is ``python -m repro lint`` (see :mod:`repro.cli`); the
 *dynamic* twin of the static pass — the runtime spurious-wake sanitizer —
@@ -27,12 +38,18 @@ simulator may depend back on the linter.
 from repro.analysis.engine import (
     Suppression,
     analyze_paths,
+    analyze_project,
     analyze_source,
+    analyze_sources,
+    apply_baseline,
+    baseline_document,
     iter_python_files,
+    load_baseline,
     parse_suppressions,
     resolve_selection,
 )
-from repro.analysis.report import FORMATS, format_findings
+from repro.analysis.project import ProjectModel, build_project_model
+from repro.analysis.report import FORMATS, format_findings, sarif_document
 from repro.analysis.rules import (
     Finding,
     Rule,
@@ -45,18 +62,26 @@ from repro.analysis.rules import (
 
 __all__ = [
     "Finding",
+    "ProjectModel",
     "Rule",
     "Suppression",
     "FORMATS",
     "analyze_paths",
+    "analyze_project",
     "analyze_source",
+    "analyze_sources",
+    "apply_baseline",
     "available_rules",
+    "baseline_document",
+    "build_project_model",
     "format_findings",
     "get_rule",
     "iter_python_files",
+    "load_baseline",
     "module_path",
     "parse_suppressions",
     "register_rule",
     "resolve_selection",
     "rule_table",
+    "sarif_document",
 ]

@@ -35,9 +35,12 @@ from __future__ import annotations
 
 import ast
 import io
+import json
+import os
 import re
 import tokenize
-from collections.abc import Iterable, Sequence
+from collections import Counter
+from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -48,14 +51,26 @@ from repro.analysis.rules import (
     get_rule,
     module_path,
 )
+from repro.analysis.project import build_project_model
+
+# Importing the protocol module registers PROTO-MSG / KERNEL-EQ, so the
+# registry is complete for every engine entry point (per-file mode skips
+# them via Rule.project_only, but --select and suppressions must still
+# recognize the names).
+import repro.analysis.protocol  # noqa: F401
 
 __all__ = [
     "analyze_source",
+    "analyze_sources",
     "analyze_paths",
+    "analyze_project",
     "iter_python_files",
     "parse_suppressions",
     "resolve_selection",
     "Suppression",
+    "load_baseline",
+    "apply_baseline",
+    "baseline_document",
 ]
 
 _ALLOW_RE = re.compile(r"repro:\s*allow\[([^\]]*)\]\s*(.*)\Z")
@@ -120,23 +135,44 @@ def analyze_source(
     """
     rules = resolve_selection(select)
     module = module_path(path)
+    tree, parse_findings = _parse(source, path)
+    if tree is None:
+        return parse_findings
+
+    raw: list[Finding] = []
+    for rule in rules:
+        if not rule.project_only and rule.applies_to(module):
+            raw.extend(rule.check(module, tree, str(path)))
+
+    # Project-only rules cannot fire here, so their suppressions are not
+    # counted as "selected" — a justified PROTO-MSG allow[] must survive a
+    # per-file run without tripping SUP-UNUSED.
+    selected = {rule.name for rule in rules if not rule.project_only}
+    findings = _apply_suppressions(source, path, raw, selected)
+    findings.sort()
+    return findings
+
+
+def _parse(
+    source: str, path: str | Path
+) -> tuple[ast.Module | None, list[Finding]]:
     try:
-        tree = ast.parse(source, filename=str(path))
+        return ast.parse(source, filename=str(path)), []
     except SyntaxError as exc:
-        return [Finding(
+        return None, [Finding(
             str(path), exc.lineno or 1, exc.offset or 1, "PARSE",
             f"could not parse: {exc.msg}",
         )]
     except ValueError as exc:  # e.g. source containing null bytes
-        return [Finding(str(path), 1, 1, "PARSE", f"could not parse: {exc}")]
+        return None, [Finding(str(path), 1, 1, "PARSE", f"could not parse: {exc}")]
 
+
+def _apply_suppressions(
+    source: str, path: str | Path, raw: list[Finding], selected: set[str]
+) -> list[Finding]:
+    """Filter ``raw`` through the file's inline suppressions and append the
+    hygiene findings (SUP-UNKNOWN / SUP-REASON / SUP-UNUSED)."""
     suppressions = parse_suppressions(source)
-    selected = {rule.name for rule in rules}
-    raw: list[Finding] = []
-    for rule in rules:
-        if rule.applies_to(module):
-            raw.extend(rule.check(module, tree, str(path)))
-
     findings: list[Finding] = []
     for finding in raw:
         matched = False
@@ -179,12 +215,64 @@ def analyze_source(
                 f"suppression for {', '.join(known)} matched no finding on "
                 "this line; delete it",
             ))
+    return findings
+
+
+def analyze_sources(
+    sources: Mapping[str, str], select: Iterable[str] | None = None
+) -> list[Finding]:
+    """Whole-program (``--project``) analysis over in-memory sources.
+
+    ``sources`` maps (possibly virtual) paths to source text. All files
+    are parsed up front into one
+    :class:`~repro.analysis.project.ProjectModel`; per-file rules then run
+    through their :meth:`~repro.analysis.rules.Rule.check_project` hook
+    with the model as context, and project-only rules (PROTO-MSG,
+    KERNEL-EQ) run once over the model. Suppressions apply per file
+    exactly as in per-file mode — project findings are anchored at real
+    source lines, so an inline ``allow[]`` silences them the same way.
+    """
+    rules = resolve_selection(select)
+    selected = {rule.name for rule in rules}
+    sources = {str(path): text for path, text in sources.items()}
+    findings: list[Finding] = []
+    parsed: dict[str, ast.Module] = {}
+    for path, source in sources.items():
+        tree, parse_findings = _parse(source, path)
+        if tree is None:
+            findings.extend(parse_findings)
+        else:
+            parsed[str(path)] = tree
+
+    model = build_project_model(parsed)
+    raw_by_path: dict[str, list[Finding]] = {path: [] for path in parsed}
+    for path, tree in parsed.items():
+        module = module_path(path)
+        for rule in rules:
+            if not rule.project_only and rule.applies_to(module):
+                raw_by_path[path].extend(
+                    rule.check_project(module, tree, path, model)
+                )
+    for rule in rules:
+        if rule.project_only:
+            for finding in rule.check_model(model):
+                raw_by_path.setdefault(finding.path, []).append(finding)
+
+    for path in parsed:
+        findings.extend(_apply_suppressions(
+            sources[path], path, raw_by_path[path], selected,
+        ))
     findings.sort()
     return findings
 
 
 def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
     """Expand files and directories into a sorted, deduplicated file list.
+
+    Deduplication keys on the *real* path, so overlapping arguments
+    (``repro lint src src/repro``, a directory plus an absolute path to a
+    file inside it, a symlinked re-spelling) scan each file once, under
+    its first-seen spelling.
 
     Raises:
         FileNotFoundError: for an input path that does not exist — a typo
@@ -202,7 +290,7 @@ def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
     seen: set[str] = set()
     unique: list[Path] = []
     for file in files:
-        key = str(file)
+        key = os.path.realpath(file)
         if key not in seen:
             seen.add(key)
             unique.append(file)
@@ -237,3 +325,119 @@ def analyze_paths(
         findings.extend(analyze_source(source, str(file), select))
     findings.sort()
     return findings, len(files)
+
+
+def analyze_project(
+    paths: Sequence[str | Path], select: Iterable[str] | None = None
+) -> tuple[list[Finding], int]:
+    """Whole-program analysis over files/directories (``--project`` mode).
+
+    Same contract as :func:`analyze_paths` — ``(findings, files_scanned)``
+    sorted by location — but every file is read up front and analyzed
+    through :func:`analyze_sources`, so cross-module rules see the whole
+    program.
+
+    Raises:
+        ValueError: unknown rule name in ``select``.
+        FileNotFoundError: missing input path.
+    """
+    resolve_selection(select)
+    files = iter_python_files(paths)
+    sources: dict[str, str] = {}
+    findings: list[Finding] = []
+    for file in files:
+        try:
+            sources[str(file)] = file.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            findings.append(
+                Finding(str(file), 1, 1, "PARSE", f"could not read: {exc}")
+            )
+    findings.extend(analyze_sources(sources, select))
+    findings.sort()
+    return findings, len(files)
+
+
+# ---------------------------------------------------------------------------
+# Baseline ratchet: freeze today's findings, fail only on new ones.
+
+_BaselineKey = tuple[str, str, str]  # (path, rule, message)
+
+
+def baseline_document(findings: Iterable[Finding]) -> dict:
+    """The JSON document freezing ``findings`` as a lint baseline.
+
+    Findings are keyed by ``(path, rule, message)`` — line numbers shift
+    with every edit, so they are recorded for human orientation but never
+    matched against. Multiset semantics: two identical findings need two
+    baseline entries.
+    """
+    return {
+        "version": 1,
+        "findings": [
+            {
+                "path": finding.path,
+                "rule": finding.rule,
+                "message": finding.message,
+                "line": finding.line,
+            }
+            for finding in sorted(findings)
+        ],
+    }
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """Load a baseline file into a ``(path, rule, message)`` multiset.
+
+    Raises:
+        ValueError: unreadable file or malformed document — a corrupt
+            baseline must fail the run loudly, not silently un-freeze
+            every finding.
+    """
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"could not load baseline {path}: {exc}") from exc
+    if not isinstance(document, dict) or not isinstance(
+        document.get("findings"), list
+    ):
+        raise ValueError(
+            f"malformed baseline {path}: expected an object with a "
+            "'findings' list (write one with --update-baseline)"
+        )
+    baseline: Counter = Counter()
+    for i, entry in enumerate(document["findings"]):
+        if not isinstance(entry, dict) or not all(
+            isinstance(entry.get(field), str)
+            for field in ("path", "rule", "message")
+        ):
+            raise ValueError(
+                f"malformed baseline {path}: findings[{i}] needs string "
+                "'path', 'rule', and 'message' fields"
+            )
+        baseline[(entry["path"], entry["rule"], entry["message"])] += 1
+    return baseline
+
+
+def apply_baseline(
+    findings: Iterable[Finding], baseline: Counter
+) -> tuple[list[Finding], int, list[_BaselineKey]]:
+    """Split findings against a frozen baseline.
+
+    Returns:
+        ``(new, suppressed_count, stale)`` — findings not covered by the
+        baseline (these fail the run), how many were frozen, and baseline
+        entries that matched nothing (fixed findings whose entries should
+        be deleted, so the ratchet only ever tightens).
+    """
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        key = (finding.path, finding.rule, finding.message)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            suppressed += 1
+        else:
+            new.append(finding)
+    stale = sorted(key for key, count in remaining.items() for _ in range(count))
+    return new, suppressed, stale

@@ -1,0 +1,452 @@
+"""The whole-program model behind ``repro lint --project``.
+
+Per-file analysis stops at the file boundary: a helper in another module
+can launder a ``random`` draw, a message tag defined in one file and
+mishandled in another is invisible, and a ``VectorKernel`` companion in a
+different module than its interpreted class cannot be cross-checked. This
+module builds the missing context once per run:
+
+* the **import graph** — every ``import``/``from`` binding per module, so
+  dotted names resolve across files (including one level of re-export);
+* the **class hierarchy** — every class, its resolved bases, and whether
+  it transitively derives from ``NodeAlgorithm`` or ``VectorKernel``,
+  plus the ``Algorithm.vector_kernel = Kernel`` companion links;
+* the **call graph** — per-function resolved callees (bare names through
+  module bindings, ``self.method`` through the hierarchy), which powers
+  :meth:`ProjectModel.tainted_functions` — the fixed-point taint pass
+  that makes ``DET-RNG``/``DET-WALL`` inter-procedural;
+* the **constant table** — module-level int/str assignments, so message
+  tags (``_ACK_TAG = 2``) resolve at their use sites in other modules.
+
+Everything here is deliberately syntactic (``ast`` only, no imports
+executed): the model is a linter's map, not an interpreter. Files whose
+path carries no ``repro`` package segment (tests, benchmarks) never enter
+the model — same exemption rule as the per-file pass.
+
+The model is consumed two ways: per-file rules receive it through their
+:meth:`~repro.analysis.rules.Rule.check_project` hook, and project-scope
+rules (``PROTO-MSG``, ``KERNEL-EQ`` in :mod:`repro.analysis.protocol`)
+run once over the whole model via ``check_model``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.analysis.rules import module_path
+
+__all__ = [
+    "ProjectModel",
+    "ClassInfo",
+    "FunctionInfo",
+    "build_project_model",
+    "NODE_ALGORITHM_ROOT",
+    "VECTOR_KERNEL_ROOT",
+]
+
+#: Fully-qualified roots of the two class hierarchies the protocol rules
+#: care about. A class also counts as a member when an *unresolvable*
+#: base's last segment ends with the root's class name — the same
+#: suffix heuristic the per-file rules use, so fixture snippets with
+#: undeclared bases behave identically in both modes.
+NODE_ALGORITHM_ROOT = "repro.congest.node.NodeAlgorithm"
+VECTOR_KERNEL_ROOT = "repro.congest.vectorized.VectorKernel"
+
+_RESOLVE_DEPTH = 8  # re-export chains longer than this do not exist here
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _module_name(path: str) -> str | None:
+    """Dotted module name for an in-package path.
+
+    ``src/repro/congest/engine.py`` -> ``repro.congest.engine``;
+    package ``__init__.py`` files map to the package itself.
+    """
+    sub = module_path(path)
+    if sub is None:
+        return None
+    parts = sub.rsplit(".py", 1)[0].split("/")
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(["repro"] + parts) if parts else "repro"
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, with its resolved call sites."""
+
+    qualname: str
+    module: str  # dotted module name
+    path: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    owner: str | None = None  # qualname of the owning class, if a method
+    #: ``(resolved callee qualname or None, the Call node)`` per call site,
+    #: filled by the model's second pass.
+    calls: list[tuple[str | None, ast.Call]] = field(default_factory=list)
+
+
+@dataclass
+class ClassInfo:
+    """One class: resolved bases, methods, kernel companion link."""
+
+    qualname: str
+    module: str
+    path: str
+    node: ast.ClassDef
+    bases: tuple[str, ...] = ()  # dotted base spellings, unresolved
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: Resolved qualname of the class's ``VectorKernel`` companion, from
+    #: either an in-class ``vector_kernel = X`` assignment or a
+    #: module-level ``Class.vector_kernel = X`` statement.
+    vector_kernel: str | None = None
+
+
+class ProjectModel:
+    """Cross-module facts for one analyzer run. Build via
+    :func:`build_project_model`; treat as read-only afterwards."""
+
+    def __init__(self) -> None:
+        #: path -> (module scope string a la ``module_path``, dotted name)
+        self.files: dict[str, tuple[str, str]] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.constants: dict[str, object] = {}  # qualname -> int | str
+        self._bindings: dict[str, dict[str, str]] = {}  # module -> name -> qual
+        self._trees: dict[str, tuple[str, ast.Module]] = {}  # module -> (path, tree)
+        #: Scratch space for rules to memoize model-wide computations
+        #: (taint maps, set-returning closures) across per-file calls.
+        self.cache: dict[str, object] = {}
+
+    # -- name resolution ---------------------------------------------------
+
+    def resolve(self, module: str, dotted: str) -> str | None:
+        """Resolve a dotted name as written in ``module`` to a qualname.
+
+        Follows import bindings, then up to ``_RESOLVE_DEPTH`` re-export
+        hops (``from a import x`` where ``a`` itself imported ``x``).
+        Returns the best-effort qualname — which may name nothing in the
+        model (e.g. ``random.randrange``); callers look it up in
+        :attr:`classes`/:attr:`functions`/:attr:`constants` as needed.
+        """
+        parts = dotted.split(".")
+        binds = self._bindings.get(module, {})
+        if parts[0] not in binds:
+            # Same-module reference: module-level constants (and anything
+            # else defined here) resolve without an import binding.
+            candidate = f"{module}.{dotted}"
+            if (
+                candidate in self.constants
+                or candidate in self.classes
+                or candidate in self.functions
+            ):
+                return candidate
+            return None
+        qual = ".".join([binds[parts[0]]] + parts[1:])
+        for _ in range(_RESOLVE_DEPTH):
+            if (
+                qual in self.classes
+                or qual in self.functions
+                or qual in self.constants
+            ):
+                return qual
+            owner, _, leaf = qual.rpartition(".")
+            hop = self._bindings.get(owner, {}).get(leaf)
+            if hop is None or hop == qual:
+                return qual
+            qual = hop
+        return qual
+
+    def resolve_call(self, function: FunctionInfo, call: ast.Call) -> str | None:
+        """Resolved qualname of a call's target, or None."""
+        dotted = _dotted(call.func)
+        if dotted is None:
+            return None
+        head = dotted.split(".", 1)[0]
+        if head == "self" and function.owner is not None:
+            remainder = dotted.split(".")[1:]
+            if len(remainder) == 1:
+                method = self._find_method(function.owner, remainder[0])
+                if method is not None:
+                    return method.qualname
+            return None
+        resolved = self.resolve(function.module, dotted)
+        if resolved is None:
+            return dotted if head in ("random", "np", "numpy") else None
+        if resolved in self.classes:
+            init = self._find_method(resolved, "__init__")
+            return init.qualname if init is not None else resolved
+        return resolved
+
+    def _find_method(self, class_qual: str, name: str) -> FunctionInfo | None:
+        seen: set[str] = set()
+        queue = [class_qual]
+        while queue:
+            qual = queue.pop(0)
+            if qual in seen:
+                continue
+            seen.add(qual)
+            info = self.classes.get(qual)
+            if info is None:
+                continue
+            if name in info.methods:
+                return info.methods[name]
+            queue.extend(self._resolved_bases(info))
+        return None
+
+    def _resolved_bases(self, info: ClassInfo) -> list[str]:
+        resolved = []
+        for base in info.bases:
+            qual = self.resolve(info.module, base)
+            if qual is not None and qual in self.classes:
+                resolved.append(qual)
+        return resolved
+
+    # -- hierarchy ---------------------------------------------------------
+
+    def derives_from(self, class_qual: str, root: str) -> bool:
+        """Whether the class transitively derives from ``root`` — by
+        resolution when possible, by base-name suffix otherwise."""
+        suffix = root.rsplit(".", 1)[-1]
+        seen: set[str] = set()
+        queue = [class_qual]
+        while queue:
+            qual = queue.pop(0)
+            if qual in seen:
+                continue
+            seen.add(qual)
+            if qual == root:
+                return True
+            info = self.classes.get(qual)
+            if info is None:
+                continue
+            for base in info.bases:
+                resolved = self.resolve(info.module, base)
+                if resolved == root:
+                    return True
+                if resolved is not None and resolved in self.classes:
+                    queue.append(resolved)
+                elif base.rsplit(".", 1)[-1].endswith(suffix):
+                    return True
+        return False
+
+    def node_algorithm_classes(self) -> list[ClassInfo]:
+        """Every ``NodeAlgorithm`` subclass in the model, sorted."""
+        return [
+            self.classes[qual]
+            for qual in sorted(self.classes)
+            if qual != NODE_ALGORITHM_ROOT
+            and self.derives_from(qual, NODE_ALGORITHM_ROOT)
+        ]
+
+    def vector_kernel_classes(self) -> list[ClassInfo]:
+        """Every ``VectorKernel`` subclass in the model, sorted."""
+        return [
+            self.classes[qual]
+            for qual in sorted(self.classes)
+            if qual != VECTOR_KERNEL_ROOT
+            and self.derives_from(qual, VECTOR_KERNEL_ROOT)
+        ]
+
+    def constant_value(self, module: str, expr: ast.AST) -> object | None:
+        """Int/str value of an expression: a literal, or a (possibly
+        imported) module-level constant."""
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, (int, str)):
+            if isinstance(expr.value, bool):
+                return None
+            return expr.value
+        dotted = _dotted(expr)
+        if dotted is None:
+            return None
+        qual = self.resolve(module, dotted)
+        if qual is None:
+            # Same-module constants bind directly; dotted self-references
+            # (``mod.CONST`` without import) do not occur in this tree.
+            return None
+        return self.constants.get(qual)
+
+    # -- taint -------------------------------------------------------------
+
+    def tainted_functions(
+        self,
+        is_source: Callable[["ProjectModel", FunctionInfo], str | None],
+        exempt_modules: Iterable[str] = (),
+    ) -> dict[str, str]:
+        """Fixed-point taint: qualname -> human-readable reason chain.
+
+        A function is tainted when ``is_source`` names a reason for it
+        directly, or when it calls a tainted function. ``exempt_modules``
+        (e.g. ``repro.util.rng``, the sanctioned randomness helpers) are
+        never tainted and absorb taint — calls into them are clean.
+        """
+        exempt = set(exempt_modules)
+        tainted: dict[str, str] = {}
+        for qual, info in self.functions.items():
+            if info.module in exempt:
+                continue
+            reason = is_source(self, info)
+            if reason is not None:
+                tainted[qual] = reason
+        changed = True
+        while changed:
+            changed = False
+            for qual, info in self.functions.items():
+                if qual in tainted or info.module in exempt:
+                    continue
+                for callee, _ in info.calls:
+                    if callee in tainted:
+                        tainted[qual] = (
+                            f"calls {callee}, which {tainted[callee]}"
+                        )
+                        changed = True
+                        break
+        return tainted
+
+
+def _bind_imports(model: ProjectModel, name: str, tree: ast.Module) -> None:
+    binds = model._bindings.setdefault(name, {})
+    package = name.rsplit(".", 1)[0] if "." in name else name
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    binds[alias.asname] = alias.name
+                else:
+                    binds[alias.name.split(".", 1)[0]] = alias.name.split(".", 1)[0]
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                # Relative import: climb from this module's package.
+                anchor = name.split(".")
+                anchor = anchor[: len(anchor) - node.level] if not _is_package(
+                    model, name
+                ) else anchor[: len(anchor) - node.level + 1]
+                base = ".".join(anchor + ([node.module] if node.module else []))
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                binds[bound] = f"{base}.{alias.name}" if base else alias.name
+    # Names defined here shadow imports for local references.
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            binds[node.name] = f"{name}.{node.name}"
+    del package
+
+
+def _is_package(model: ProjectModel, name: str) -> bool:
+    path_entry = model._trees.get(name)
+    return bool(path_entry and path_entry[0].replace("\\", "/").endswith("__init__.py"))
+
+
+def _register_definitions(
+    model: ProjectModel, name: str, path: str, tree: ast.Module
+) -> None:
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qual = f"{name}.{node.name}"
+            model.functions[qual] = FunctionInfo(qual, name, path, node)
+        elif isinstance(node, ast.ClassDef):
+            qual = f"{name}.{node.name}"
+            info = ClassInfo(
+                qual, name, path, node,
+                bases=tuple(
+                    b for b in (_dotted(base) for base in node.bases) if b
+                ),
+            )
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    method_qual = f"{qual}.{item.name}"
+                    method = FunctionInfo(
+                        method_qual, name, path, item, owner=qual
+                    )
+                    info.methods[item.name] = method
+                    model.functions[method_qual] = method
+                elif (
+                    isinstance(item, ast.Assign)
+                    and len(item.targets) == 1
+                    and isinstance(item.targets[0], ast.Name)
+                    and item.targets[0].id == "vector_kernel"
+                ):
+                    linked = _dotted(item.value)
+                    if linked is not None:
+                        info.vector_kernel = linked  # resolved in pass 2
+            model.classes[qual] = info
+        elif isinstance(node, ast.Assign):
+            if (
+                isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, (int, str))
+                and not isinstance(node.value.value, bool)
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        model.constants[f"{name}.{target.id}"] = node.value.value
+
+
+def _link_kernels(model: ProjectModel, name: str, tree: ast.Module) -> None:
+    """Module-level ``Algorithm.vector_kernel = Kernel`` statements."""
+    for node in tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if (
+            isinstance(target, ast.Attribute)
+            and target.attr == "vector_kernel"
+            and isinstance(target.value, ast.Name)
+        ):
+            owner = model.resolve(name, target.value.id)
+            linked = _dotted(node.value)
+            if owner in model.classes and linked is not None:
+                # Resolve in *this* module — the assignment may live in
+                # the kernel's module, not the algorithm's.
+                model.classes[owner].vector_kernel = (
+                    model.resolve(name, linked) or linked
+                )
+
+
+def build_project_model(
+    files: Mapping[str, ast.Module] | Iterable[tuple[str, ast.Module]],
+) -> ProjectModel:
+    """Build the model from ``path -> parsed tree`` pairs.
+
+    Paths outside the ``repro`` package (no dotted module name) are
+    skipped — they are exempt from every rule anyway. Later files win on
+    a duplicate module name (mirroring the file-order semantics of the
+    per-file pass; real trees have no duplicates).
+    """
+    pairs = files.items() if isinstance(files, Mapping) else files
+    model = ProjectModel()
+    for path, tree in pairs:
+        name = _module_name(str(path))
+        if name is None:
+            continue
+        model.files[str(path)] = (module_path(str(path)), name)
+        model._trees[name] = (str(path), tree)
+    for name, (path, tree) in model._trees.items():
+        _bind_imports(model, name, tree)
+        _register_definitions(model, name, path, tree)
+    for name, (path, tree) in model._trees.items():
+        _link_kernels(model, name, tree)
+    for info in model.classes.values():
+        if info.vector_kernel is not None and "." not in info.vector_kernel:
+            resolved = model.resolve(info.module, info.vector_kernel)
+            if resolved is not None:
+                info.vector_kernel = resolved
+    for function in model.functions.values():
+        for node in ast.walk(function.node):
+            if isinstance(node, ast.Call):
+                function.calls.append(
+                    (model.resolve_call(function, node), node)
+                )
+    return model

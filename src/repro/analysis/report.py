@@ -1,13 +1,20 @@
 """Output formats for ``repro lint`` findings.
 
-Three formats, selected by the CLI's ``--format`` flag:
+Four formats, selected by the CLI's ``--format`` flag:
 
 * ``text`` — one ``path:line:col: RULE message`` line per finding, the
   greppable default;
 * ``json`` — a stable machine-readable document (sorted keys, findings in
   the analyzer's sorted order);
 * ``github`` — ``::error`` workflow commands, so the CI job annotates the
-  offending lines directly in the pull-request diff.
+  offending lines directly in the pull-request diff. Workflow commands
+  are line-oriented with ``,``/``:``-delimited properties, so finding
+  text is escaped per the Actions runner's rules (``%``/CR/LF in data,
+  additionally ``:``/``,`` in property values) — a message containing a
+  newline or ``::`` must not truncate or forge a command;
+* ``sarif`` — a SARIF 2.1.0 log, the interchange format code-scanning
+  UIs ingest; rule metadata comes from the registry so every result
+  carries its rule's summary.
 """
 
 from __future__ import annotations
@@ -15,11 +22,85 @@ from __future__ import annotations
 import json
 from collections.abc import Sequence
 
-from repro.analysis.rules import Finding
+from repro.analysis.rules import Finding, rule_table
 
-__all__ = ["FORMATS", "format_findings"]
+__all__ = ["FORMATS", "format_findings", "sarif_document"]
 
-FORMATS = ("text", "json", "github")
+FORMATS = ("text", "json", "github", "sarif")
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _escape_data(value: str) -> str:
+    """GitHub workflow-command escaping for the message part."""
+    return value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def _escape_property(value: str) -> str:
+    """GitHub workflow-command escaping for property values (file, title)."""
+    return _escape_data(value).replace(":", "%3A").replace(",", "%2C")
+
+
+def sarif_document(findings: Sequence[Finding]) -> dict:
+    """The findings as a SARIF 2.1.0 log object (one run).
+
+    The driver's rule metadata lists every registered rule plus any extra
+    rule ids present in the findings (``PARSE``, the ``SUP-*`` hygiene
+    pseudo-rules), so each result's ``ruleIndex`` always resolves.
+    """
+    rules = [
+        {
+            "id": name,
+            "shortDescription": {"text": summary},
+            "properties": {"scope": scope},
+        }
+        for name, scope, summary in rule_table()
+    ]
+    known = {rule["id"]: i for i, rule in enumerate(rules)}
+    for finding in findings:
+        if finding.rule not in known:
+            known[finding.rule] = len(rules)
+            rules.append({
+                "id": finding.rule,
+                "shortDescription": {"text": "analyzer pseudo-rule"},
+            })
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": finding.rule,
+                        "ruleIndex": known[finding.rule],
+                        "level": "error",
+                        "message": {"text": finding.message},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {"uri": finding.path},
+                                    "region": {
+                                        "startLine": finding.line,
+                                        "startColumn": finding.col,
+                                    },
+                                }
+                            }
+                        ],
+                    }
+                    for finding in findings
+                ],
+            }
+        ],
+    }
 
 
 def format_findings(findings: Sequence[Finding], fmt: str = "text") -> str:
@@ -53,10 +134,13 @@ def format_findings(findings: Sequence[Finding], fmt: str = "text") -> str:
         )
     if fmt == "github":
         return "\n".join(
-            f"::error file={f.path},line={f.line},col={f.col},"
-            f"title=repro-lint {f.rule}::{f.message}"
+            f"::error file={_escape_property(f.path)},line={f.line},"
+            f"col={f.col},title={_escape_property(f'repro-lint {f.rule}')}"
+            f"::{_escape_data(f.message)}"
             for f in findings
         )
+    if fmt == "sarif":
+        return json.dumps(sarif_document(findings), indent=2, sort_keys=True)
     raise ValueError(
         f"unknown lint output format {fmt!r}; formats: {', '.join(FORMATS)}"
     )

@@ -113,9 +113,17 @@ def available_rules() -> tuple[str, ...]:
     return tuple(sorted(_RULES))
 
 
-def rule_table() -> list[tuple[str, str]]:
-    """``(name, summary)`` pairs for every registered rule, sorted."""
-    return [(name, _RULES[name].summary) for name in available_rules()]
+def rule_table() -> list[tuple[str, str, str]]:
+    """``(name, scope, summary)`` triples for every registered rule, sorted.
+
+    ``scope`` is the human-readable module scope the rule runs in — what
+    ``applies_to`` encodes in code — surfaced by ``repro registry`` so the
+    roster shows *where* each rule bites, not just what it checks.
+    """
+    return [
+        (name, _RULES[name].scope, _RULES[name].summary)
+        for name in available_rules()
+    ]
 
 
 class Rule:
@@ -126,10 +134,27 @@ class Rule:
     for ``--list-rules`` and the README table), restrict themselves to the
     relevant part of the tree via :meth:`applies_to`, and emit
     :class:`Finding` objects from :meth:`check`.
+
+    Project awareness is opt-in on two axes:
+
+    * :meth:`check_project` is called instead of :meth:`check` under
+      ``repro lint --project``, with the whole-program
+      :class:`~repro.analysis.project.ProjectModel` as extra context. The
+      default delegates to :meth:`check`, so a per-file rule behaves
+      identically in both modes until it overrides the hook.
+    * :attr:`project_only` marks rules (``PROTO-MSG``, ``KERNEL-EQ``) that
+      are meaningless without the model; they expose :meth:`check_model`
+      — one pass over the whole model — and are skipped entirely in
+      per-file mode.
     """
 
     name = "abstract"
     summary = ""
+    #: Human-readable module scope for the registry listing.
+    scope = "repro package"
+    #: True for rules that only run under ``--project`` (via
+    #: :meth:`check_model`); they are skipped in per-file mode.
+    project_only = False
 
     def applies_to(self, module: str | None) -> bool:
         """Whether this rule runs on a file with the given module path."""
@@ -138,6 +163,27 @@ class Rule:
     def check(self, module: str, tree: ast.Module, path: str) -> list[Finding]:
         """Return every finding for one parsed file."""
         raise NotImplementedError
+
+    def check_project(
+        self, module: str, tree: ast.Module, path: str, model
+    ) -> list[Finding]:
+        """Per-file check with whole-program context (``--project`` mode).
+
+        ``model`` is a :class:`~repro.analysis.project.ProjectModel` whose
+        trees include this file's (same AST objects, so node identity can
+        key into the model's resolved call sites). Default: the per-file
+        :meth:`check`.
+        """
+        return self.check(module, tree, path)
+
+    def check_model(self, model) -> list[Finding]:
+        """Whole-program check, called once per ``--project`` run.
+
+        Only :attr:`project_only` rules implement this; findings must be
+        anchored in real scanned files so inline suppressions keep
+        working.
+        """
+        return []
 
 
 # ---------------------------------------------------------------------------
@@ -169,6 +215,80 @@ def _finding(rule: "Rule", path: str, node: ast.AST, message: str) -> Finding:
 
 
 # ---------------------------------------------------------------------------
+# Cross-module taint plumbing shared by the project-mode overrides.
+#
+# In per-file mode DET-RNG/DET-WALL stop at the file boundary: a helper in
+# ``apps/`` that calls ``random.random()`` is outside their scope, so a
+# simulator file calling that helper launders the draw invisibly. With a
+# ProjectModel the rules taint every function reaching a banned source
+# (fixed point over the call graph) and flag the *call site* inside
+# simulator code — but only when the callee lives in a module the rule
+# does not already scan, so nothing is reported twice.
+
+#: The sanctioned randomness helpers: calls into these modules are clean
+#: by definition (they exist precisely to derive per-node deterministic
+#: streams), so they absorb taint instead of propagating it.
+_RNG_EXEMPT_MODULES = frozenset({"repro.util.rng"})
+
+
+def _rng_source(model, info) -> str | None:
+    """DET-RNG taint source: the function itself touches module-level RNG."""
+    for callee, _ in info.calls:
+        if callee and (callee == "random" or callee.startswith("random.")):
+            return f"draws from {callee}()"
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Attribute):
+            dotted = _dotted(node)
+            if dotted in ("np.random", "numpy.random"):
+                return f"touches {dotted}"
+    return None
+
+
+def _wall_source(model, info) -> str | None:
+    """DET-WALL taint source: wall clock / OS entropy inside the function."""
+    for callee, _ in info.calls:
+        if callee and (
+            callee in _WALL_ATTRS
+            or callee == "uuid"
+            or callee.startswith("uuid.")
+        ):
+            return f"reads {callee}()"
+    return None
+
+
+def _laundered_call_findings(
+    rule: "Rule", path: str, model, tainted: dict[str, str], hint: str
+) -> list[Finding]:
+    """Findings for call sites in ``path`` whose resolved callee is tainted
+    and defined outside the rule's own scanning scope."""
+    findings = []
+    for info in model.functions.values():
+        if info.path != str(path):
+            continue
+        for callee, call in info.calls:
+            if callee not in tainted:
+                continue
+            target = model.functions.get(callee)
+            if target is None:
+                continue
+            if rule.applies_to(module_path(target.path)):
+                continue  # the per-file pass already covers the callee
+            findings.append(_finding(
+                rule, path, call,
+                f"call to {callee}(), which {tainted[callee]} "
+                f"(defined in {module_path(target.path)}, outside this "
+                f"rule's per-file scope); {hint}",
+            ))
+    return findings
+
+
+def _cached_taint(model, key: str, source, exempt=()) -> dict[str, str]:
+    if key not in model.cache:
+        model.cache[key] = model.tainted_functions(source, exempt)
+    return model.cache[key]
+
+
+# ---------------------------------------------------------------------------
 # DET-RNG — no module-level randomness in simulator code.
 
 
@@ -188,9 +308,19 @@ class DetRngRule(Rule):
         "module-level randomness (random.*, np.random) in simulator code; "
         "draw from ctx.rng or repro.util.rng instead"
     )
+    scope = "simulator modules (congest/, core/distributed, sched/partwise)"
 
     def applies_to(self, module: str | None) -> bool:
         return module is not None and _is_simulator_module(module)
+
+    def check_project(self, module, tree, path, model):
+        tainted = _cached_taint(
+            model, "taint/det-rng", _rng_source, _RNG_EXEMPT_MODULES
+        )
+        return self.check(module, tree, path) + _laundered_call_findings(
+            self, path, model, tainted,
+            "simulator code must use ctx.rng or the repro.util.rng helpers",
+        )
 
     def check(self, module, tree, path):
         findings = []
@@ -245,9 +375,17 @@ class DetWallRule(Rule):
         "wall-clock / OS-entropy source (time.*, os.urandom, uuid) in "
         "simulator code; rounds and ctx.rng are the only clocks and coins"
     )
+    scope = "simulator modules (congest/, core/distributed, sched/partwise)"
 
     def applies_to(self, module: str | None) -> bool:
         return module is not None and _is_simulator_module(module)
+
+    def check_project(self, module, tree, path, model):
+        tainted = _cached_taint(model, "taint/det-wall", _wall_source)
+        return self.check(module, tree, path) + _laundered_call_findings(
+            self, path, model, tainted,
+            "the round counter and ctx.rng are the only clocks and coins",
+        )
 
     def check(self, module, tree, path):
         findings = []
@@ -319,7 +457,9 @@ def _annotation_is_set(annotation: ast.AST) -> bool:
     return bool(_SET_ANNOTATION_RE.search(text))
 
 
-def _collect_set_names(tree: ast.Module) -> set[str]:
+def _collect_set_names(
+    tree: ast.Module, set_call_ids: frozenset[int] = frozenset()
+) -> set[str]:
     """Names/attribute chains assigned set-typed values, module-wide.
 
     Deliberately flow-insensitive: one set-typed assignment marks the name
@@ -327,6 +467,8 @@ def _collect_set_names(tree: ast.Module) -> set[str]:
     to propagate). Conservative in both directions — a name rebound to a
     sorted list later stays marked, and sets passed in as parameters are
     invisible; both are acceptable for a linter backed by suppressions.
+    ``set_call_ids`` extends the syntactic judgment with project knowledge:
+    AST ids of call nodes whose resolved callee returns a set.
     """
     names: set[str] = set()
     for _ in range(2):
@@ -339,9 +481,9 @@ def _collect_set_names(tree: ast.Module) -> set[str]:
                 value, annotation, targets = node.value, None, (node.target,)
             else:
                 continue
-            set_typed = (value is not None and _is_set_expr(value, names)) or (
-                annotation is not None and _annotation_is_set(annotation)
-            )
+            set_typed = (
+                value is not None and _is_set_expr(value, names, set_call_ids)
+            ) or (annotation is not None and _annotation_is_set(annotation))
             if not set_typed:
                 continue
             for target in targets:
@@ -351,25 +493,66 @@ def _collect_set_names(tree: ast.Module) -> set[str]:
     return names
 
 
-def _is_set_expr(expr: ast.AST, set_names: set[str]) -> bool:
+def _is_set_expr(
+    expr: ast.AST,
+    set_names: set[str],
+    set_call_ids: frozenset[int] = frozenset(),
+) -> bool:
     """Whether ``expr`` syntactically evaluates to a set."""
     if isinstance(expr, (ast.Set, ast.SetComp)):
         return True
     if isinstance(expr, ast.Call):
+        if id(expr) in set_call_ids:
+            return True
         func = expr.func
         if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
             return True
         if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
-            return _is_set_expr(func.value, set_names)
+            return _is_set_expr(func.value, set_names, set_call_ids)
         return False
     if isinstance(expr, ast.BinOp) and isinstance(
         expr.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
     ):
-        return _is_set_expr(expr.left, set_names) or _is_set_expr(
-            expr.right, set_names
+        return _is_set_expr(expr.left, set_names, set_call_ids) or _is_set_expr(
+            expr.right, set_names, set_call_ids
         )
     dotted = _dotted(expr)
     return dotted is not None and dotted in set_names
+
+
+def _set_returning_functions(model) -> frozenset[str]:
+    """Qualnames of project functions that (transitively) return sets.
+
+    A function qualifies when its return annotation is set-like, it
+    returns a syntactic set expression, or it returns the result of a call
+    into another qualifying function — computed to a fixed point so
+    set-ness survives trivial forwarding wrappers.
+    """
+    returning: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for qual, info in model.functions.items():
+            if qual in returning:
+                continue
+            node = info.node
+            annotation = getattr(node, "returns", None)
+            qualifies = annotation is not None and _annotation_is_set(annotation)
+            if not qualifies:
+                resolved = {id(call): callee for callee, call in info.calls}
+                for sub in ast.walk(node):
+                    if not isinstance(sub, ast.Return) or sub.value is None:
+                        continue
+                    if _is_set_expr(sub.value, set()) or (
+                        isinstance(sub.value, ast.Call)
+                        and resolved.get(id(sub.value)) in returning
+                    ):
+                        qualifies = True
+                        break
+            if qualifies:
+                returning.add(qual)
+                changed = True
+    return frozenset(returning)
 
 
 def _emission_contexts(tree: ast.Module):
@@ -414,6 +597,7 @@ class DetOrderRule(Rule):
         "unordered set iteration on a message-emitting simulator path; "
         "wrap the iterable in sorted(...)"
     )
+    scope = "congest/ + core/distributed (message-emitting classes)"
 
     def applies_to(self, module: str | None) -> bool:
         return module is not None and (
@@ -421,7 +605,27 @@ class DetOrderRule(Rule):
         )
 
     def check(self, module, tree, path):
-        set_names = _collect_set_names(tree)
+        return self._check_impl(tree, path, frozenset())
+
+    def check_project(self, module, tree, path, model):
+        """Project mode extends set-ness through the call graph: a call
+        site whose resolved callee (transitively) returns a set is treated
+        exactly like a ``set(...)`` literal, so ``for x in neighbours():``
+        is flagged when ``neighbours`` builds a set in another module."""
+        if "det-order/returning" not in model.cache:
+            model.cache["det-order/returning"] = _set_returning_functions(model)
+        returning = model.cache["det-order/returning"]
+        set_call_ids = frozenset(
+            id(call)
+            for info in model.functions.values()
+            if info.path == str(path)
+            for callee, call in info.calls
+            if callee in returning
+        )
+        return self._check_impl(tree, path, set_call_ids)
+
+    def _check_impl(self, tree, path, set_call_ids):
+        set_names = _collect_set_names(tree, set_call_ids)
         findings = []
         for context in _emission_contexts(tree):
             parents: dict[ast.AST, ast.AST] = {}
@@ -444,8 +648,11 @@ class DetOrderRule(Rule):
                         continue
                     sites.extend(gen.iter for gen in node.generators)
                 for expr in sites:
-                    if _is_set_expr(expr, set_names):
-                        source = _dotted(expr) or type(expr).__name__
+                    if _is_set_expr(expr, set_names, set_call_ids):
+                        if isinstance(expr, ast.Call):
+                            source = (_dotted(expr.func) or "a call") + "()"
+                        else:
+                            source = _dotted(expr) or type(expr).__name__
                         findings.append(_finding(
                             self, path, expr,
                             f"iterating a set ({source}) on a "
@@ -477,6 +684,7 @@ class ProtoRoundRule(Rule):
         "ctx.round read as wall time in algorithm code (retired in the "
         "ack-driven redesign); use acks or ctx.schedule_wake"
     )
+    scope = "algorithm modules (primitives/, apps/, sweep protocols)"
 
     _WHITELIST_CLASSES = frozenset({"KeepAliveSweepNode"})
 
@@ -539,6 +747,7 @@ class RegBackendRule(Rule):
         "direct scheduler-backend / latency-model class import outside "
         "repro.congest; route through get_backend / resolve_latency_model"
     )
+    scope = "everywhere outside congest/"
 
     def applies_to(self, module: str | None) -> bool:
         return module is not None and not module.startswith("congest/")
@@ -590,6 +799,35 @@ _SHARED_ROOTS = frozenset({
 })
 
 
+def _mutating_functions(model) -> dict[str, str]:
+    """Project functions that call a graph mutator on one of their own
+    parameters — ``qualname -> mutator method name``. Used by the
+    PROTO-STATE project override to catch mutation hidden behind a helper
+    (node method passes the shared graph, helper calls ``add_edge``)."""
+    mutating: dict[str, str] = {}
+    for qual, info in model.functions.items():
+        node = info.node
+        args = node.args
+        params = {
+            a.arg
+            for a in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            )
+        }
+        params.discard("self")
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in _GRAPH_MUTATORS
+            ):
+                root = _dotted(sub.func.value)
+                if root and root.split(".")[0] in params:
+                    mutating[qual] = sub.func.attr
+                    break
+    return mutating
+
+
 class ProtoStateRule(Rule):
     """Flag shared-state mutation from node-algorithm methods.
 
@@ -606,11 +844,52 @@ class ProtoStateRule(Rule):
         "node algorithm mutates engine context (ctx.*) or the shared "
         "graph/fabric from round code"
     )
+    scope = "simulator + apps modules (NodeAlgorithm classes)"
 
     def applies_to(self, module: str | None) -> bool:
         return module is not None and (
             _is_simulator_module(module) or module.startswith("apps/")
         )
+
+    def check_project(self, module, tree, path, model):
+        """Project mode also catches mutation-by-proxy: a round method
+        passing the shared graph/fabric to a project function that calls
+        a graph mutator on its parameter."""
+        if "proto-state/mutators" not in model.cache:
+            model.cache["proto-state/mutators"] = _mutating_functions(model)
+        mutators = model.cache["proto-state/mutators"]
+        findings = self.check(module, tree, path)
+        for info in model.functions.values():
+            if info.path != str(path) or info.owner is None:
+                continue
+            owner = model.classes.get(info.owner)
+            if owner is None or info.node.name == "__init__":
+                continue
+            class_names = [owner.qualname.rsplit(".", 1)[-1]] + list(owner.bases)
+            if not any(
+                name.split(".")[-1].endswith(("NodeAlgorithm", "Node"))
+                for name in class_names
+            ):
+                continue
+            for callee, call in info.calls:
+                mutator = mutators.get(callee)
+                if mutator is None:
+                    continue
+                for arg in list(call.args) + [kw.value for kw in call.keywords]:
+                    root = _dotted(arg)
+                    if root and (
+                        root in _SHARED_ROOTS
+                        or any(root.startswith(r + ".") for r in _SHARED_ROOTS)
+                        or root.startswith(("ctx.", "node_ctx."))
+                    ):
+                        findings.append(_finding(
+                            self, path, call,
+                            f"passes shared state {root} to {callee}(), "
+                            f"which mutates its argument via .{mutator}(); "
+                            "node algorithms own only their local "
+                            "attributes and their outbox",
+                        ))
+        return findings
 
     def check(self, module, tree, path):
         findings = []
@@ -691,6 +970,7 @@ class ProtoJobRule(Rule):
         "node algorithm reads or forges a job_id tenancy tag; tags belong "
         "to the fabric/arbiter layer only"
     )
+    scope = "simulator + apps modules (NodeAlgorithm classes)"
 
     def applies_to(self, module: str | None) -> bool:
         return module is not None and (

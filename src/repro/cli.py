@@ -19,7 +19,11 @@ Five commands cover the common workflows without writing any code:
   schedulers, latency models, shortcut providers, lint rules;
 * ``lint`` — the CONGEST determinism/protocol static analyzer
   (:mod:`repro.analysis`): nonzero exit on findings, ``--format github``
-  for CI annotations, ``--select`` for a rule subset.
+  for CI annotations (``sarif`` for code-scanning upload), ``--select``
+  for a rule subset, ``--project`` for the whole-program pass
+  (inter-procedural DET-* taint plus PROTO-MSG / KERNEL-EQ schema
+  checks), and ``--baseline``/``--update-baseline`` for the lint
+  ratchet: frozen findings pass, new findings fail.
 
 ``quality``, ``mst``, and ``certify`` share the unified ``--provider``
 flag; ``mst`` keeps ``--construction`` as the legacy alias.
@@ -373,17 +377,35 @@ def _cmd_registry(args: argparse.Namespace) -> int:
     for name in available_providers():
         print(f"  {name}")
     print("lint rules:")
-    for name, summary in rule_table():
-        print(f"  {name:12s} {summary}")
+    for name, scope, summary in rule_table():
+        print(f"  {name:12s} [{scope}]")
+        print(f"  {'':12s} {summary}")
     return 0
 
 
+def _lint_formats() -> tuple[str, ...]:
+    from repro.analysis.report import FORMATS
+
+    return FORMATS
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.analysis import analyze_paths, format_findings, rule_table
+    import json
+    from pathlib import Path
+
+    from repro.analysis import (
+        analyze_paths,
+        analyze_project,
+        apply_baseline,
+        baseline_document,
+        format_findings,
+        load_baseline,
+        rule_table,
+    )
 
     if args.list_rules:
-        for name, summary in rule_table():
-            print(f"{name:12s} {summary}")
+        for name, scope, summary in rule_table():
+            print(f"{name:12s} [{scope}] {summary}")
         return 0
     select = None
     if args.select:
@@ -394,25 +416,66 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             print("repro lint: --select names no rules", file=sys.stderr)
             return 2
     try:
-        findings, file_count = analyze_paths(args.paths, select=select)
+        analyze = analyze_project if args.project else analyze_paths
+        findings, file_count = analyze(args.paths, select=select)
     except (ValueError, FileNotFoundError) as exc:
         # Unknown rule names and missing paths are usage errors, reported
         # with the registry/path in the message (the compare_bench.py
         # graceful-failure convention): exit 2, distinct from findings.
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
+
+    if args.update_baseline:
+        if not args.baseline:
+            print(
+                "repro lint: --update-baseline requires --baseline PATH "
+                "(where to write the frozen findings)",
+                file=sys.stderr,
+            )
+            return 2
+        Path(args.baseline).write_text(
+            json.dumps(baseline_document(findings), indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(
+            f"repro lint: froze {len(findings)} finding(s) into "
+            f"{args.baseline}"
+        )
+        return 0
+
+    suppressed, stale = 0, []
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except ValueError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+        findings, suppressed, stale = apply_baseline(findings, baseline)
+    # Stale entries are fixed findings: report them (stderr, so machine
+    # formats stay parseable on stdout) without failing the run — the
+    # ratchet tightens by deleting them from the baseline file.
+    for path, rule, message in stale:
+        print(
+            f"repro lint: stale baseline entry (already fixed — delete "
+            f"it): {path}: {rule} {message}",
+            file=sys.stderr,
+        )
+
+    machine = args.format in ("json", "sarif")
     if findings:
         print(format_findings(findings, args.format))
-        if args.format != "json":
+        if not machine:
+            baselined = f", {suppressed} baselined" if args.baseline else ""
             print(
                 f"repro lint: {len(findings)} finding(s) in "
-                f"{file_count} file(s) scanned"
+                f"{file_count} file(s) scanned{baselined}"
             )
         return 1
-    if args.format == "json":
-        print(format_findings([], "json"))
+    if machine:
+        print(format_findings([], args.format))
     else:
-        print(f"repro lint: clean ({file_count} file(s) scanned)")
+        baselined = f", {suppressed} baselined" if suppressed else ""
+        print(f"repro lint: clean ({file_count} file(s) scanned{baselined})")
     return 0
 
 
@@ -489,8 +552,9 @@ def main(argv: list[str] | None = None) -> int:
         help="files or directories to analyze (default: src)",
     )
     lint.add_argument(
-        "--format", default="text", choices=("text", "json", "github"),
-        help="output format (github emits ::error workflow annotations)",
+        "--format", default="text", choices=_lint_formats(),
+        help="output format (github emits ::error workflow annotations, "
+             "sarif a SARIF 2.1.0 log for code-scanning upload)",
     )
     lint.add_argument(
         "--select", default=None,
@@ -499,6 +563,21 @@ def main(argv: list[str] | None = None) -> int:
     lint.add_argument(
         "--list-rules", action="store_true", dest="list_rules",
         help="print the rule table and exit",
+    )
+    lint.add_argument(
+        "--project", action="store_true",
+        help="whole-program mode: build the cross-module ProjectModel, "
+             "make DET-*/PROTO-STATE inter-procedural, and run the "
+             "project-only PROTO-MSG / KERNEL-EQ schema rules",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="lint ratchet: findings frozen in this JSON file pass, new "
+             "findings fail, fixed ones are reported as stale",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true", dest="update_baseline",
+        help="rewrite --baseline PATH with the current findings and exit 0",
     )
     lint.set_defaults(func=_cmd_lint)
 

@@ -7,14 +7,21 @@ with tokenize, not a regex over raw lines).
 """
 
 import json
+from collections import Counter
 
 import pytest
 
 from repro.analysis import (
     FORMATS,
+    Finding,
     analyze_paths,
+    analyze_project,
     analyze_source,
+    apply_baseline,
+    baseline_document,
     format_findings,
+    iter_python_files,
+    load_baseline,
     parse_suppressions,
 )
 
@@ -131,11 +138,11 @@ class TestFormats:
         )
 
     def test_unknown_format_lists_formats(self):
-        with pytest.raises(ValueError, match="text, json, github"):
+        with pytest.raises(ValueError, match="text, json, github, sarif"):
             format_findings([], "xml")
 
     def test_formats_tuple(self):
-        assert FORMATS == ("text", "json", "github")
+        assert FORMATS == ("text", "json", "github", "sarif")
 
 
 class TestAnalyzePaths:
@@ -149,3 +156,109 @@ class TestAnalyzePaths:
         assert scanned == 3
         assert {f.rule for f in findings} == {"DET-RNG"}
         assert all("dirty.py" in f.path for f in findings)
+
+    def test_overlapping_arguments_scan_each_file_once(self, tmp_path):
+        package = tmp_path / "src" / "repro" / "congest"
+        package.mkdir(parents=True)
+        target = package / "dirty.py"
+        target.write_text(VIOLATION)
+        # Directory, nested directory, and an absolute re-spelling of the
+        # same file: one scan, one set of findings.
+        files = iter_python_files([tmp_path, package, target.resolve()])
+        assert len(files) == 1
+        findings, scanned = analyze_paths([tmp_path, target.resolve()])
+        assert scanned == 1
+        assert len(findings) == len(analyze_source(VIOLATION, str(target)))
+
+
+class TestAnalyzeProject:
+    def test_cross_file_finding_through_the_filesystem(self, tmp_path):
+        apps = tmp_path / "src" / "repro" / "apps"
+        congest = tmp_path / "src" / "repro" / "congest"
+        apps.mkdir(parents=True)
+        congest.mkdir(parents=True)
+        (apps / "helpers.py").write_text(
+            "import random\n\n\ndef jitter():\n    return random.random()\n"
+        )
+        (congest / "algo.py").write_text(
+            "from repro.apps.helpers import jitter\n"
+            "\n"
+            "\n"
+            "class JitterNode(NodeAlgorithm):\n"
+            "    def on_round(self, ctx, inbox):\n"
+            "        self.delay = jitter()\n"
+            "        return {}\n"
+        )
+        per_file, scanned = analyze_paths([tmp_path])
+        assert per_file == [] and scanned == 2
+        findings, scanned = analyze_project([tmp_path])
+        assert scanned == 2
+        assert [f.rule for f in findings] == ["DET-RNG"]
+        assert findings[0].path.endswith("algo.py")
+
+    def test_parse_errors_surface_in_project_mode(self, tmp_path):
+        package = tmp_path / "src" / "repro" / "congest"
+        package.mkdir(parents=True)
+        (package / "broken.py").write_text("def broken(:\n")
+        (package / "fine.py").write_text("x = 1\n")
+        findings, scanned = analyze_project([tmp_path])
+        assert scanned == 2
+        assert [f.rule for f in findings] == ["PARSE"]
+
+
+class TestBaseline:
+    def _findings(self):
+        return analyze_source(VIOLATION, SIM_PATH)
+
+    def test_document_freezes_key_fields_and_line(self):
+        document = baseline_document(self._findings())
+        assert document["version"] == 1
+        entry = document["findings"][0]
+        assert set(entry) == {"path", "rule", "message", "line"}
+        assert entry["path"] == SIM_PATH
+        assert entry["rule"] == "DET-RNG"
+
+    def test_round_trip_suppresses_exactly_the_frozen_findings(self, tmp_path):
+        findings = self._findings()
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(baseline_document(findings)))
+        new, suppressed, stale = apply_baseline(findings, load_baseline(path))
+        assert new == [] and suppressed == len(findings) and stale == []
+
+    def test_line_drift_does_not_unfreeze(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(baseline_document(self._findings())))
+        drifted = [
+            Finding(f.path, f.line + 40, f.col, f.rule, f.message)
+            for f in self._findings()
+        ]
+        new, suppressed, _ = apply_baseline(drifted, load_baseline(path))
+        assert new == [] and suppressed == len(drifted)
+
+    def test_new_findings_stay_and_fixed_entries_go_stale(self):
+        document = baseline_document(self._findings())
+        counter = Counter(
+            (e["path"], e["rule"], e["message"]) for e in document["findings"]
+        )
+        fresh = Finding(SIM_PATH, 9, 1, "DET-WALL", "something new")
+        new, suppressed, stale = apply_baseline([fresh], counter)
+        assert new == [fresh] and suppressed == 0
+        assert stale == sorted(counter)  # every frozen entry went unmatched
+
+    def test_multiset_semantics(self):
+        finding = self._findings()[0]
+        counter = Counter({(finding.path, finding.rule, finding.message): 1})
+        new, suppressed, stale = apply_baseline([finding, finding], counter)
+        assert suppressed == 1 and new == [finding] and stale == []
+
+    def test_corrupt_baseline_raises_value_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("not json {")
+        with pytest.raises(ValueError, match="could not load baseline"):
+            load_baseline(path)
+        path.write_text(json.dumps({"findings": "nope"}))
+        with pytest.raises(ValueError, match="update-baseline"):
+            load_baseline(path)
+        path.write_text(json.dumps({"findings": [{"path": "p"}]}))
+        with pytest.raises(ValueError, match="findings\\[0\\]"):
+            load_baseline(path)

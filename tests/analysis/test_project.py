@@ -1,0 +1,330 @@
+"""ProjectModel tests: name resolution across modules, class hierarchy,
+kernel companion links, the call-graph taint pass — and the
+inter-procedural behavior those give the per-file rules under
+``--project`` (findings that per-file mode provably misses).
+
+Fixtures are in-memory sources with virtual in-package paths, analyzed
+through :func:`repro.analysis.analyze_sources` — same convention as
+``test_rules.py``, for the same reason (``repro lint tests`` must stay
+clean on this repository).
+"""
+
+import ast
+
+from repro.analysis import analyze_source, analyze_sources, build_project_model
+from repro.analysis.project import (
+    NODE_ALGORITHM_ROOT,
+    VECTOR_KERNEL_ROOT,
+    _module_name,
+)
+
+
+def _model(sources):
+    return build_project_model(
+        {path: ast.parse(text) for path, text in sources.items()}
+    )
+
+
+class TestModuleNames:
+    def test_in_package_paths_map_to_dotted_names(self):
+        assert _module_name("src/repro/congest/engine.py") == "repro.congest.engine"
+        assert _module_name("src/repro/congest/__init__.py") == "repro.congest"
+        assert _module_name("src/repro/__init__.py") == "repro"
+
+    def test_out_of_package_paths_are_excluded(self):
+        assert _module_name("tests/congest/test_engine.py") is None
+        model = _model({"tests/conftest.py": "x = 1\n"})
+        assert model.files == {}
+        assert model.constants == {}
+
+
+class TestResolution:
+    SOURCES = {
+        "src/repro/congest/wire.py": "_ADV = 3\n",
+        # Re-export hop: api re-exports wire's constant.
+        "src/repro/congest/api.py": (
+            "from repro.congest.wire import _ADV\n"
+        ),
+        "src/repro/congest/user.py": (
+            "from repro.congest.api import _ADV\n"
+            "import repro.congest.wire as wire_mod\n"
+        ),
+    }
+
+    def test_direct_and_reexported_imports_resolve(self):
+        model = _model(self.SOURCES)
+        assert (
+            model.resolve("repro.congest.user", "_ADV")
+            == "repro.congest.wire._ADV"
+        )
+        assert model.constants["repro.congest.wire._ADV"] == 3
+
+    def test_same_module_constant_resolves_without_a_binding(self):
+        model = _model(self.SOURCES)
+        assert (
+            model.resolve("repro.congest.wire", "_ADV")
+            == "repro.congest.wire._ADV"
+        )
+
+    def test_unknown_names_resolve_to_none(self):
+        model = _model(self.SOURCES)
+        assert model.resolve("repro.congest.user", "_NOPE") is None
+
+    def test_constant_value_literals_and_names(self):
+        model = _model(self.SOURCES)
+        expr = lambda text: ast.parse(text, mode="eval").body  # noqa: E731
+        assert model.constant_value("repro.congest.user", expr("5")) == 5
+        assert model.constant_value("repro.congest.user", expr("'x'")) == "x"
+        assert model.constant_value("repro.congest.user", expr("_ADV")) == 3
+        # bool is an int subclass but never a message tag.
+        assert model.constant_value("repro.congest.user", expr("True")) is None
+
+
+class TestHierarchy:
+    SOURCES = {
+        "src/repro/congest/node.py": "class NodeAlgorithm:\n    pass\n",
+        "src/repro/congest/vectorized.py": "class VectorKernel:\n    pass\n",
+        "src/repro/congest/algo.py": (
+            "from repro.congest.node import NodeAlgorithm\n"
+            "\n"
+            "\n"
+            "class Base(NodeAlgorithm):\n"
+            "    def helper(self):\n"
+            "        return 1\n"
+            "\n"
+            "\n"
+            "class Sub(Base):\n"
+            "    def on_round(self, ctx, inbox):\n"
+            "        return self.helper()\n"
+        ),
+        # Suffix heuristic: base spelled without a resolvable import.
+        "src/repro/congest/loose.py": (
+            "class LooseNode(NodeAlgorithm):\n    pass\n"
+        ),
+        "src/repro/congest/kern.py": (
+            "from repro.congest.algo import Sub\n"
+            "from repro.congest.vectorized import VectorKernel\n"
+            "\n"
+            "\n"
+            "class SubKernel(VectorKernel):\n"
+            "    pass\n"
+            "\n"
+            "\n"
+            "Sub.vector_kernel = SubKernel\n"
+        ),
+    }
+
+    def test_derives_from_by_resolution_and_by_suffix(self):
+        model = _model(self.SOURCES)
+        assert model.derives_from("repro.congest.algo.Sub", NODE_ALGORITHM_ROOT)
+        assert model.derives_from(
+            "repro.congest.loose.LooseNode", NODE_ALGORITHM_ROOT
+        )
+        assert not model.derives_from(
+            "repro.congest.kern.SubKernel", NODE_ALGORITHM_ROOT
+        )
+        assert model.derives_from(
+            "repro.congest.kern.SubKernel", VECTOR_KERNEL_ROOT
+        )
+
+    def test_hierarchy_listings(self):
+        model = _model(self.SOURCES)
+        algos = [info.qualname for info in model.node_algorithm_classes()]
+        assert "repro.congest.algo.Base" in algos
+        assert "repro.congest.algo.Sub" in algos
+        assert "repro.congest.loose.LooseNode" in algos
+        kernels = [info.qualname for info in model.vector_kernel_classes()]
+        assert kernels == ["repro.congest.kern.SubKernel"]
+
+    def test_kernel_link_resolves_in_the_assigning_module(self):
+        # The ``Sub.vector_kernel = SubKernel`` statement lives in the
+        # *kernel's* module; the link must still land on the algorithm.
+        model = _model(self.SOURCES)
+        info = model.classes["repro.congest.algo.Sub"]
+        assert info.vector_kernel == "repro.congest.kern.SubKernel"
+
+    def test_self_calls_resolve_through_the_hierarchy(self):
+        model = _model(self.SOURCES)
+        on_round = model.functions["repro.congest.algo.Sub.on_round"]
+        assert ("repro.congest.algo.Base.helper" in
+                [callee for callee, _ in on_round.calls])
+
+
+class TestTaint:
+    SOURCES = {
+        "src/repro/apps/helpers.py": (
+            "import random\n"
+            "\n"
+            "\n"
+            "def draw():\n"
+            "    return random.random()\n"
+            "\n"
+            "\n"
+            "def wrapper():\n"
+            "    return draw()\n"
+        ),
+        "src/repro/util/rng.py": (
+            "import random\n"
+            "\n"
+            "\n"
+            "def node_stream(seed):\n"
+            "    return random.Random(seed)\n"
+        ),
+        "src/repro/apps/clean.py": (
+            "from repro.util.rng import node_stream\n"
+            "\n"
+            "\n"
+            "def sanctioned(seed):\n"
+            "    return node_stream(seed)\n"
+        ),
+    }
+
+    @staticmethod
+    def _source(model, info):
+        for callee, _ in info.calls:
+            if callee and callee.startswith("random."):
+                return f"draws from {callee}()"
+        return None
+
+    def test_taint_propagates_to_a_fixed_point(self):
+        model = _model(self.SOURCES)
+        tainted = model.tainted_functions(self._source)
+        assert "repro.apps.helpers.draw" in tainted
+        reason = tainted["repro.apps.helpers.wrapper"]
+        assert "calls repro.apps.helpers.draw" in reason
+
+    def test_exempt_modules_absorb_taint(self):
+        model = _model(self.SOURCES)
+        tainted = model.tainted_functions(
+            self._source, exempt_modules=("repro.util.rng",)
+        )
+        assert "repro.util.rng.node_stream" not in tainted
+        assert "repro.apps.clean.sanctioned" not in tainted
+
+
+class TestInterProcedural:
+    """Each case: per-file mode is clean, --project mode finds the bug."""
+
+    def test_det_rng_flags_a_laundering_helper_at_the_call_site(self):
+        sources = {
+            "src/repro/apps/helpers.py": (
+                "import random\n"
+                "\n"
+                "\n"
+                "def jitter():\n"
+                "    return random.random()\n"
+            ),
+            "src/repro/congest/algo.py": (
+                "from repro.apps.helpers import jitter\n"
+                "\n"
+                "\n"
+                "class JitterNode(NodeAlgorithm):\n"
+                "    def on_round(self, ctx, inbox):\n"
+                "        self.delay = jitter()\n"
+                "        return {}\n"
+            ),
+        }
+        for path, text in sources.items():
+            assert analyze_source(text, path) == []  # per-file misses it
+        findings = analyze_sources(sources)
+        assert [f.rule for f in findings] == ["DET-RNG"]
+        finding = findings[0]
+        assert finding.path == "src/repro/congest/algo.py"  # the call site
+        assert "repro.apps.helpers.jitter()" in finding.message
+        assert "random.random()" in finding.message
+        assert "outside this rule's per-file scope" in finding.message
+
+    def test_det_rng_exempts_the_sanctioned_rng_helpers(self):
+        sources = {
+            "src/repro/util/rng.py": (
+                "import random\n"
+                "\n"
+                "\n"
+                "def node_stream(seed):\n"
+                "    return random.Random(seed)\n"
+            ),
+            "src/repro/congest/algo.py": (
+                "from repro.util.rng import node_stream\n"
+                "\n"
+                "\n"
+                "class SeededNode(NodeAlgorithm):\n"
+                "    def on_round(self, ctx, inbox):\n"
+                "        self.rng = node_stream(7)\n"
+                "        return {}\n"
+            ),
+        }
+        assert analyze_sources(sources) == []
+
+    def test_det_wall_flags_a_clock_reading_helper(self):
+        sources = {
+            "src/repro/apps/helpers.py": (
+                "import time\n"
+                "\n"
+                "\n"
+                "def stamp():\n"
+                "    return time.time()\n"
+            ),
+            "src/repro/congest/backend.py": (
+                "from repro.apps.helpers import stamp\n"
+                "\n"
+                "\n"
+                "class StampBackend:\n"
+                "    def run_round(self):\n"
+                "        self.t = stamp()\n"
+            ),
+        }
+        for path, text in sources.items():
+            assert analyze_source(text, path) == []
+        findings = analyze_sources(sources)
+        assert [f.rule for f in findings] == ["DET-WALL"]
+        assert findings[0].path == "src/repro/congest/backend.py"
+        assert "time.time()" in findings[0].message
+
+    def test_det_order_follows_set_ness_through_the_call_graph(self):
+        sources = {
+            "src/repro/congest/frontier.py": (
+                "def frontier(graph):\n"
+                "    return set(graph)\n"
+            ),
+            "src/repro/congest/algo.py": (
+                "from repro.congest.frontier import frontier\n"
+                "\n"
+                "\n"
+                "class WaveNode(NodeAlgorithm):\n"
+                "    def on_round(self, ctx, inbox):\n"
+                "        out = {}\n"
+                "        for n in frontier(ctx):\n"
+                "            out[n] = (1, n)\n"
+                "        return out\n"
+            ),
+        }
+        for path, text in sources.items():
+            assert analyze_source(text, path) == []
+        findings = analyze_sources(sources, select=("DET-ORDER",))
+        assert [f.rule for f in findings] == ["DET-ORDER"]
+        assert "iterating a set (frontier())" in findings[0].message
+
+    def test_proto_state_flags_mutation_by_proxy(self):
+        sources = {
+            "src/repro/apps/rewire.py": (
+                "def rewire(graph, u, v):\n"
+                "    graph.add_edge(u, v)\n"
+            ),
+            "src/repro/apps/algo.py": (
+                "from repro.apps.rewire import rewire\n"
+                "\n"
+                "\n"
+                "class RewireNode(NodeAlgorithm):\n"
+                "    def on_round(self, ctx, inbox):\n"
+                "        rewire(ctx.graph, 0, 1)\n"
+                "        return {}\n"
+            ),
+        }
+        for path, text in sources.items():
+            assert analyze_source(text, path) == []
+        findings = analyze_sources(sources, select=("PROTO-STATE",))
+        assert [f.rule for f in findings] == ["PROTO-STATE"]
+        message = findings[0].message
+        assert "ctx.graph" in message
+        assert "repro.apps.rewire.rewire()" in message
+        assert ".add_edge()" in message

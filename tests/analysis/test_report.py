@@ -1,0 +1,114 @@
+"""Report-layer tests: GitHub workflow-command escaping, JSON round-trip
+of every Finding field, and the SARIF 2.1.0 document's structure.
+
+The escaping cases are the satellite's reason to exist: an attacker-ish
+finding message containing a newline or ``::`` must render as exactly one
+inert annotation line, never a second forged workflow command.
+"""
+
+import json
+
+from repro.analysis import (
+    Finding,
+    available_rules,
+    format_findings,
+    rule_table,
+    sarif_document,
+)
+
+NASTY = Finding(
+    "src/repro/congest/a,b:c.py", 3, 7, "DET-RNG",
+    "line one\nline two :: 100% bad\r\n",
+)
+PLAIN = Finding("src/repro/apps/clean.py", 12, 1, "PROTO-MSG", "plain message")
+
+
+class TestGithubEscaping:
+    def test_newlines_cannot_forge_a_second_command(self):
+        out = format_findings([NASTY], "github")
+        assert len(out.splitlines()) == 1
+        assert out.startswith("::error ")
+        assert "%0A" in out and "%0D" in out
+        assert "\n" not in out and "\r" not in out
+
+    def test_percent_escapes_before_everything_else(self):
+        out = format_findings([NASTY], "github")
+        assert "100%25 bad" in out
+        # %0A must come from the real newline, not a literal "%0A".
+        assert "%250A" not in out
+
+    def test_double_colon_in_the_message_stays_in_the_data_part(self):
+        out = format_findings([NASTY], "github")
+        prefix, _, message = out.partition("::")
+        assert prefix == ""  # the line *starts* with the command marker
+        command, _, data = message.partition("::")
+        assert command.startswith("error file=")
+        assert "line two :: 100%25 bad" in data
+
+    def test_property_values_escape_commas_and_colons(self):
+        out = format_findings([NASTY], "github")
+        assert "file=src/repro/congest/a%2Cb%3Ac.py,line=3,col=7" in out
+        assert "title=repro-lint DET-RNG" in out
+
+
+class TestJsonRoundTrip:
+    def test_every_finding_field_survives(self):
+        document = json.loads(format_findings([NASTY, PLAIN], "json"))
+        assert document["count"] == 2
+        for finding, entry in zip((NASTY, PLAIN), document["findings"]):
+            assert entry == {
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "rule": finding.rule,
+                "message": finding.message,
+            }
+
+    def test_message_content_is_not_escaped_in_json(self):
+        document = json.loads(format_findings([NASTY], "json"))
+        assert document["findings"][0]["message"] == NASTY.message
+
+
+class TestSarif:
+    def test_document_shape_is_sarif_2_1_0(self):
+        document = sarif_document([PLAIN])
+        assert document["$schema"].endswith("sarif-schema-2.1.0.json")
+        assert document["version"] == "2.1.0"
+        assert len(document["runs"]) == 1
+        driver = document["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+
+    def test_driver_lists_the_full_registry_with_scopes(self):
+        driver = sarif_document([])["runs"][0]["tool"]["driver"]
+        ids = [rule["id"] for rule in driver["rules"]]
+        assert ids == list(available_rules())
+        by_id = {rule["id"]: rule for rule in driver["rules"]}
+        for name, scope, summary in rule_table():
+            assert by_id[name]["shortDescription"]["text"] == summary
+            assert by_id[name]["properties"]["scope"] == scope
+
+    def test_results_resolve_their_rule_index(self):
+        document = sarif_document([PLAIN, NASTY])
+        run = document["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        for result, finding in zip(run["results"], (PLAIN, NASTY)):
+            assert result["ruleId"] == finding.rule
+            assert rules[result["ruleIndex"]]["id"] == finding.rule
+            assert result["level"] == "error"
+            assert result["message"]["text"] == finding.message
+            location = result["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uri"] == finding.path
+            assert location["region"]["startLine"] == finding.line
+            assert location["region"]["startColumn"] == finding.col
+
+    def test_pseudo_rules_are_appended_so_indices_always_resolve(self):
+        parse = Finding("src/repro/x.py", 1, 1, "PARSE", "could not parse: x")
+        run = sarif_document([parse])["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        index = run["results"][0]["ruleIndex"]
+        assert rules[index]["id"] == "PARSE"
+        assert index == len(available_rules())  # appended after the registry
+
+    def test_format_findings_sarif_is_the_document_serialized(self):
+        rendered = json.loads(format_findings([PLAIN], "sarif"))
+        assert rendered == sarif_document([PLAIN])

@@ -20,10 +20,11 @@ def _rules(source, path, select=None):
 
 
 class TestRegistry:
-    def test_available_rules_is_the_shipped_seven(self):
+    def test_available_rules_is_the_shipped_nine(self):
         assert available_rules() == (
-            "DET-ORDER", "DET-RNG", "DET-WALL",
-            "PROTO-JOB", "PROTO-ROUND", "PROTO-STATE", "REG-BACKEND",
+            "DET-ORDER", "DET-RNG", "DET-WALL", "KERNEL-EQ",
+            "PROTO-JOB", "PROTO-MSG", "PROTO-ROUND", "PROTO-STATE",
+            "REG-BACKEND",
         )
 
     def test_unknown_rule_lists_registry(self):

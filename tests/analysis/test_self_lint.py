@@ -5,6 +5,7 @@ exits 0, with every surviving suppression justified (SUP-REASON makes an
 unjustified one a finding, so "clean" already implies that).
 """
 
+import json
 from pathlib import Path
 
 import pytest
@@ -80,7 +81,7 @@ class TestCliUx:
                      "PROTO-ROUND", "REG-BACKEND", "PROTO-STATE"):
             assert rule in out
 
-    @pytest.mark.parametrize("fmt", ["text", "json", "github"])
+    @pytest.mark.parametrize("fmt", ["text", "json", "github", "sarif"])
     def test_formats_through_cli(self, fmt, tmp_path, capsys):
         bad = tmp_path / "src" / "repro" / "congest" / "bad.py"
         bad.parent.mkdir(parents=True)
@@ -90,3 +91,95 @@ class TestCliUx:
         assert "DET-WALL" in out
         if fmt == "github":
             assert out.startswith("::error file=")
+        if fmt == "sarif":
+            document = json.loads(out)
+            assert document["version"] == "2.1.0"
+            assert document["runs"][0]["results"]
+
+
+class TestProjectSelfLint:
+    """The acceptance bar of the whole-program pass: this repository's own
+    protocols (BFS, sweep, keep-alive, top-k, the kernel companions) must
+    satisfy PROTO-MSG / KERNEL-EQ and the inter-procedural rules without
+    a single suppression."""
+
+    def test_whole_repo_is_clean_under_project_mode(self, capsys):
+        code = main([
+            "lint", "--project",
+            str(REPO_ROOT / "src"),
+            str(REPO_ROOT / "tests"),
+            str(REPO_ROOT / "benchmarks"),
+        ])
+        assert code == 0, capsys.readouterr().out
+        assert "repro lint: clean" in capsys.readouterr().out
+
+    def test_committed_baseline_is_empty(self):
+        # The ratchet starts tight: the committed CI baseline freezes
+        # nothing, so any new project-mode finding fails the build.
+        document = json.loads(
+            (REPO_ROOT / ".repro-lint-baseline.json").read_text()
+        )
+        assert document == {"version": 1, "findings": []}
+
+
+class TestBaselineCli:
+    def _violating_tree(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "congest" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import uuid\n")
+        return bad
+
+    def test_update_baseline_freezes_and_then_passes(self, tmp_path, capsys):
+        self._violating_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        code = main([
+            "lint", str(tmp_path),
+            "--baseline", str(baseline), "--update-baseline",
+        ])
+        assert code == 0
+        assert "froze 1 finding(s)" in capsys.readouterr().out
+        code = main(["lint", str(tmp_path), "--baseline", str(baseline)])
+        assert code == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_new_finding_fails_despite_baseline(self, tmp_path, capsys):
+        bad = self._violating_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main([
+            "lint", str(tmp_path),
+            "--baseline", str(baseline), "--update-baseline",
+        ]) == 0
+        capsys.readouterr()
+        bad.write_text("import uuid\nimport random\nx = random.random()\n")
+        assert main(["lint", str(tmp_path), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "DET-RNG" in out  # only the new finding is reported
+        assert "DET-WALL" not in out
+
+    def test_fixed_finding_reports_stale_entry_without_failing(
+        self, tmp_path, capsys
+    ):
+        bad = self._violating_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main([
+            "lint", str(tmp_path),
+            "--baseline", str(baseline), "--update-baseline",
+        ]) == 0
+        capsys.readouterr()
+        bad.write_text("x = 1\n")
+        assert main(["lint", str(tmp_path), "--baseline", str(baseline)]) == 0
+        captured = capsys.readouterr()
+        assert "stale baseline entry" in captured.err
+        assert "delete it" in captured.err
+
+    def test_corrupt_baseline_exits_2(self, tmp_path, capsys):
+        self._violating_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("not json {")
+        assert main(["lint", str(tmp_path), "--baseline", str(baseline)]) == 2
+        assert "could not load baseline" in capsys.readouterr().err
+
+    def test_update_baseline_requires_a_path(self, tmp_path, capsys):
+        self._violating_tree(tmp_path)
+        assert main(["lint", str(tmp_path), "--update-baseline"]) == 2
+        assert "requires --baseline" in capsys.readouterr().err
